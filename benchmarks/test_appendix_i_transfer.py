@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Appendix I (data-transfer volume analysis)."""
+
+from conftest import run_once
+
+from repro.experiments import appendix_i_transfer
+
+
+def test_appendix_i_transfer(benchmark):
+    result = run_once(benchmark, appendix_i_transfer.run)
+    for row in result["rows"]:
+        # PP-GNNs move 1-2 orders of magnitude less data than uncached MP-GNNs.
+        assert row["mp_over_pp"] > 8.0
+        assert row["mp_over_pp"] < 500.0
+    # IGB-large's PP-GNN volume is in the hundreds-of-GB range per epoch (paper: 720-960 GB).
+    igb_large = next(r for r in result["rows"] if r["dataset"] == "IGB-large")
+    assert 200 < igb_large["pp_gb"] < 2000
+    print("\n" + appendix_i_transfer.format_result(result))

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 13 (convergence of HOGA/SIGN on ogbn-papers100M)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_convergence_large
+
+
+def test_fig13_convergence_large(benchmark):
+    result = run_once(
+        benchmark, fig13_convergence_large.run, hops_list=(2,), num_epochs=10, num_nodes=4000
+    )
+    for row in result["rows"]:
+        assert row["convergence_epoch"] is not None
+        assert row["convergence_epoch"] <= 10
+        assert row["peak_valid"] > 0.0
+    print("\n" + fig13_convergence_large.format_result(result))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 14 / Appendix H (data-placement study)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_placement
+
+
+def test_fig14_placement(benchmark):
+    result = run_once(benchmark, fig14_placement.run)
+    summary = result["summary"]
+    # Paper ordering: GPU ~ Host-CR faster than Host-RR, with SSD-CR no slower
+    # than Host-RR (the paper reports SSD ~2 % faster than host SGD-RR).
+    assert summary["gpu_rr"] <= summary["host_cr"] <= summary["host_rr"]
+    assert summary["ssd_cr"] <= summary["host_rr"] * 1.1
+    # Chunk reshuffling keeps host-resident training within ~2x of GPU-resident.
+    assert summary["host_cr"] < 2.0
+    print("\n" + fig14_placement.format_result(result))

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 7 / Figure 11 (accuracy-efficiency Pareto frontier)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_pareto
+
+
+def test_fig7_pareto(benchmark):
+    result = run_once(
+        benchmark,
+        fig7_pareto.run,
+        dataset="wiki",
+        hop_range=(2,),
+        num_epochs=8,
+        num_nodes=3000,
+    )
+    rows = result["rows"]
+    pp_rows = [r for r in rows if r["family"] == "pp"]
+    mp_rows = [r for r in rows if r["family"] == "mp"]
+    # After the system optimizations the PP-GNNs dominate on throughput ...
+    assert min(r["throughput_eps"] for r in pp_rows) > max(r["throughput_eps"] for r in mp_rows) * 0.5
+    # ... and at least one optimized PP-GNN sits on the Pareto frontier.
+    assert any(label.split("-")[0] in ("HOGA", "SIGN", "SGC") for label in result["frontier"])
+    print("\n" + fig7_pareto.format_result(result))

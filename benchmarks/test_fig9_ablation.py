@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (ablation of the data-loading optimizations)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_ablation
+
+
+def test_fig9_ablation(benchmark):
+    result = run_once(benchmark, fig9_ablation.run)
+    speedups = result["summary_speedups"]
+    # Every cumulative optimization helps, and the total lands in the same
+    # order of magnitude as the paper's 15x.
+    assert speedups["efficient_assembly"] > 1.5
+    assert speedups["double_buffer"] >= 1.0
+    assert speedups["chunk_reshuffle"] > 1.2
+    assert 5.0 < speedups["total"] < 60.0
+    # Per-row normalized times decrease monotonically for every dataset/model.
+    for row in result["rows"]:
+        assert row["baseline"] >= row["efficient_assembly"] >= row["double_buffer"] >= row["chunk_reshuffle"]
+    print("\n" + fig9_ablation.format_result(result))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (complexity comparison)."""
+
+from conftest import run_once
+
+from repro.experiments import tab1_complexity
+
+
+def test_tab1_complexity(benchmark):
+    result = run_once(benchmark, tab1_complexity.run)
+    rows = {r["model"]: r for r in result["concrete"]}
+    # PP-GNN training memory is orders of magnitude below node-wise MP-GNNs.
+    assert rows["SGC"]["memory"] < rows["GraphSAGE"]["memory"] / 10
+    assert rows["SIGN"]["compute"] < rows["GraphSAGE"]["compute"]
+    print("\n" + tab1_complexity.format_result(result))

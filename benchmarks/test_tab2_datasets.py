@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 2 (dataset statistics + preprocessing time)."""
+
+from conftest import run_once
+
+from repro.experiments import tab2_datasets
+
+
+def test_tab2_datasets(benchmark):
+    result = run_once(
+        benchmark, tab2_datasets.run, datasets=("products", "pokec", "wiki"), num_nodes=3000
+    )
+    assert len(result["rows"]) == 3
+    for row in result["rows"]:
+        assert row["replica_preprocess_s"] > 0
+        # preprocessing of the medium graphs stays within minutes at paper scale
+        assert row["extrapolated_preprocess_s"] < 3600
+    print("\n" + tab2_datasets.format_result(result))

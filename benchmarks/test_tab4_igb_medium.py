@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 4 (IGB-medium, host-memory regime, RR vs CR)."""
+
+from conftest import run_once
+
+from repro.experiments import tab4_igb_medium
+
+
+def test_tab4_igb_medium(benchmark):
+    result = run_once(
+        benchmark,
+        tab4_igb_medium.run,
+        hops_list=(2,),
+        num_epochs=5,
+        num_nodes=3000,
+        gpu_counts=(1, 4),
+    )
+    rows = {(r["model"], r["system"]): r for r in result["rows"]}
+    sign_rr = rows[("SIGN", "Ours-RR")]
+    sign_cr = rows[("SIGN", "Ours-CR")]
+    sage_dgl = rows[("SAGE", "dgl-uva")]
+
+    # Chunk reshuffling is the key to throughput in the host-memory regime.
+    assert sign_cr["epm_1gpu"] > 1.5 * sign_rr["epm_1gpu"]
+    # PP-GNNs (with CR) beat DGL GraphSAGE by a wide margin (paper: up to 24x).
+    assert sign_cr["epm_1gpu"] > 3 * sage_dgl["epm_1gpu"]
+    # PP-GNN accuracy is higher than GraphSAGE on this dataset (paper Table 4).
+    assert sign_cr["test_accuracy"] >= sage_dgl["test_accuracy"] - 0.05
+    print("\n" + tab4_igb_medium.format_result(result))

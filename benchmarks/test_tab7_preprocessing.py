@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 7 / Appendix G (preprocessing amortization)."""
+
+from conftest import run_once
+
+from repro.experiments import tab7_preprocessing
+
+
+def test_tab7_preprocessing(benchmark):
+    result = run_once(benchmark, tab7_preprocessing.run)
+    rows = {r["dataset"]: r for r in result["rows"]}
+    # Preprocessing stays in the order of (and mostly below) a single training run ...
+    assert all(r["fraction_of_run"] < 2.0 for r in rows.values())
+    # ... and becomes negligible once amortized over a tuning sweep.
+    assert all(r["fraction_of_20_runs"] < 0.15 for r in rows.values())
+    # papers100M is the worst case (paper: 90 % of one run) because only 1.4 % of
+    # nodes are labeled while preprocessing touches the whole graph.
+    worst = max(rows.values(), key=lambda r: r["fraction_of_run"])
+    assert worst["dataset"] == "ogbn-papers100M"
+    print("\n" + tab7_preprocessing.format_result(result))

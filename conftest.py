@@ -1,0 +1,13 @@
+"""Pytest path bootstrap.
+
+Makes ``import repro`` work even when the package has not been pip-installed
+(the offline reproduction environment lacks the ``wheel`` package needed for
+editable installs).
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,109 @@
+"""Hop-wise attention on computation-graph-like data (the HOGA motivation).
+
+The paper motivates PP-GNNs with computation graphs (logic networks, dataflow
+graphs) where graph *sampling* breaks functionality because a node's label
+depends on its complete multi-hop fan-in.  This example builds a synthetic
+"circuit-like" task with exactly that property — a node's class is determined
+by an aggregate over its 3-hop neighborhood, not by its own features — and
+shows:
+
+* HOGA (full pre-propagated neighborhoods) recovers the labels;
+* a GraphSAINT-sampled GraphSAGE, which only ever sees a subgraph, does
+  noticeably worse;
+* HOGA's hop-attention weights concentrate on the informative hops.
+
+Run with:  python examples/circuit_classification.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.dataloading.loaders import build_loader
+from repro.datasets.splits import random_split
+from repro.datasets.synthetic import NodeClassificationDataset
+from repro.graph.generators import powerlaw_cluster_graph
+from repro.graph.operators import normalized_adjacency
+from repro.models import build_pp_model
+from repro.prepropagation import PreprocessingPipeline, PropagationConfig
+from repro.sampling import GraphSaintNodeSampler
+from repro.training import MPGNNTrainer, PPGNNTrainer, TrainerConfig
+from repro.models import build_mp_model
+
+NUM_NODES = 3000
+NUM_FEATURES = 24
+NUM_CLASSES = 4
+HOPS = 3
+
+
+def build_circuit_dataset(seed: int = 0) -> NodeClassificationDataset:
+    """A task where the label is a quantile of a 3-hop neighborhood aggregate."""
+    rng = np.random.default_rng(seed)
+    graph = powerlaw_cluster_graph(NUM_NODES, num_attach=3, triangle_prob=0.3, seed=seed)
+    features = rng.standard_normal((NUM_NODES, NUM_FEATURES)).astype(np.float32)
+
+    # The "functional" signal: a hidden scalar per node, aggregated over 3 hops.
+    hidden = features[:, 0]
+    operator = normalized_adjacency(graph)
+    aggregate = hidden.copy()
+    for _ in range(HOPS):
+        aggregate = operator @ aggregate
+    quantiles = np.quantile(aggregate, np.linspace(0, 1, NUM_CLASSES + 1)[1:-1])
+    labels = np.digitize(aggregate, quantiles).astype(np.int64)
+
+    split = random_split(NUM_NODES, fractions=(0.6, 0.2, 0.2), seed=seed)
+    return NodeClassificationDataset(
+        name="synthetic-circuit",
+        graph=graph,
+        features=features,
+        labels=labels,
+        split=split,
+        num_classes=NUM_CLASSES,
+    )
+
+
+def train_hoga(dataset: NodeClassificationDataset) -> tuple[float, np.ndarray]:
+    config = PropagationConfig(num_hops=HOPS)
+    result = PreprocessingPipeline(config).run(dataset)
+    labels = dataset.labels[result.store.node_ids]
+    loader = build_loader("fused", result.store, labels, batch_size=256, seed=0)
+    model = build_pp_model("hoga", NUM_FEATURES, NUM_CLASSES, num_hops=HOPS, num_heads=2, seed=0)
+    trainer = PPGNNTrainer(model, loader, dataset, TrainerConfig(num_epochs=25, batch_size=256))
+    history = trainer.fit()
+    sample_rows = np.arange(min(512, result.store.num_rows))
+    attention = model.hop_attention_weights(result.store.gather(sample_rows))
+    return history.test_accuracy_at_best(), attention.mean(axis=0)
+
+
+def train_sampled_sage(dataset: NodeClassificationDataset) -> float:
+    sampler = GraphSaintNodeSampler(budget=256, num_layers=HOPS)
+    model = build_mp_model("sage", NUM_FEATURES, NUM_CLASSES, num_layers=HOPS, seed=0)
+    trainer = MPGNNTrainer(model, sampler, dataset, TrainerConfig(num_epochs=8, batch_size=256))
+    history = trainer.fit()
+    return history.test_accuracy_at_best()
+
+
+def main() -> None:
+    dataset = build_circuit_dataset()
+    print("circuit-like dataset:", dataset.summary())
+
+    hoga_acc, hop_weights = train_hoga(dataset)
+    saint_acc = train_sampled_sage(dataset)
+
+    print(f"\nHOGA (full pre-propagated neighborhoods) test accuracy: {hoga_acc:.3f}")
+    print(f"GraphSAINT-sampled GraphSAGE test accuracy:             {saint_acc:.3f}")
+    print("\nAverage HOGA attention weight per hop token (hop 0 = raw features):")
+    for hop, weight in enumerate(hop_weights):
+        bar = "#" * int(round(40 * weight))
+        print(f"  hop {hop}: {weight:.3f} {bar}")
+    if hoga_acc > saint_acc:
+        print("\n=> sampling loses functional information that pre-propagation preserves.")
+
+
+if __name__ == "__main__":
+    main()

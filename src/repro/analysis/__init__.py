@@ -1,0 +1,19 @@
+"""Analytical reproductions: complexity table, transfer volumes, amortization, Pareto."""
+
+from repro.analysis.complexity import COMPLEXITY_TABLE, ComplexityEntry, complexity_table, evaluate_complexity
+from repro.analysis.data_transfer import DataTransferAnalysis, TransferVolumes
+from repro.analysis.amortization import AmortizationAnalysis, AmortizationRow
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+
+__all__ = [
+    "ComplexityEntry",
+    "COMPLEXITY_TABLE",
+    "complexity_table",
+    "evaluate_complexity",
+    "TransferVolumes",
+    "DataTransferAnalysis",
+    "AmortizationRow",
+    "AmortizationAnalysis",
+    "ParetoPoint",
+    "pareto_frontier",
+]

@@ -1,0 +1,134 @@
+"""Asymptotic training memory and compute complexity (Table 1 of the paper).
+
+Each entry stores the symbolic complexity as a callable over the paper's
+parameters so the table can be *evaluated* for concrete workloads (the
+benchmarks check the orderings the paper highlights, e.g. PP-GNN training cost
+is independent of the neighborhood size ``C`` while MP-GNN cost grows as
+``C^L``).
+
+Notation (Section 3.1): ``L`` layers/hops, ``b`` mini-batch size, ``n`` nodes,
+``F`` feature width, ``C`` sampled neighborhood size, ``r`` hops (HOGA token
+count uses ``r + 1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One row of Table 1."""
+
+    model: str
+    family: str  # "mp" or "pp"
+    memory: str
+    compute: str
+    memory_fn: Callable[..., float]
+    compute_fn: Callable[..., float]
+
+    def evaluate(self, **params: float) -> dict:
+        return {
+            "model": self.model,
+            "memory": float(self.memory_fn(**params)),
+            "compute": float(self.compute_fn(**params)),
+        }
+
+
+def _sage_memory(L, b, C, F, **_):
+    return L * b * C**L * F + L * F**2
+
+
+def _sage_compute(L, n, C, F, **_):
+    return L * F * n * C ** (L + 1) + L * n * C**L * F**2
+
+
+def _ladies_memory(L, b, F, **_):
+    return L**2 * b * F + L * F**2
+
+
+def _ladies_compute(L, n, b, F, **_):
+    return L**2 * n * F * b + L**2 * n * F**2
+
+
+def _saint_memory(L, b, F, **_):
+    return L * b * F + L * F**2
+
+
+def _saint_compute(L, n, b, F, **_):
+    return L * n * F * b + L * n * F**2
+
+
+def _sgc_memory(b, F, **_):
+    return b * F + F**2
+
+
+def _sgc_compute(n, F, **_):
+    return n * F**2
+
+
+def _sign_memory(L, b, F, **_):
+    return L * b * F + L * F**2
+
+
+def _sign_compute(L, n, F, **_):
+    return L * n * F**2
+
+
+def _hoga_memory(L, b, F, r, **_):
+    return L * b * F + L * F**2 + L * b * (r + 1) ** 2
+
+
+def _hoga_compute(L, n, F, r, **_):
+    return L * n * (r + 1) * F**2 + L * n * F * (r + 1) ** 2
+
+
+COMPLEXITY_TABLE: Dict[str, ComplexityEntry] = {
+    "graphsage": ComplexityEntry(
+        "GraphSAGE", "mp", "L b C^L F + L F^2", "L F n C^(L+1) + L n C^L F^2", _sage_memory, _sage_compute
+    ),
+    "labor": ComplexityEntry(
+        "LABOR", "mp", "L b C^L F + L F^2", "L F n C^(L+1) + L n C^L F^2", _sage_memory, _sage_compute
+    ),
+    "ladies": ComplexityEntry(
+        "LADIES", "mp", "L^2 b F + L F^2", "L^2 n F b + L^2 n F^2", _ladies_memory, _ladies_compute
+    ),
+    "graphsaint": ComplexityEntry(
+        "GraphSAINT", "mp", "L b F + L F^2", "L n F b + L n F^2", _saint_memory, _saint_compute
+    ),
+    "sgc": ComplexityEntry("SGC", "pp", "b F + F^2", "n F^2", _sgc_memory, _sgc_compute),
+    "sign": ComplexityEntry("SIGN", "pp", "L b F + L F^2", "L n F^2", _sign_memory, _sign_compute),
+    "hoga": ComplexityEntry(
+        "HOGA",
+        "pp",
+        "L b F + L F^2 + L b (r+1)^2",
+        "L n (r+1) F^2 + L n F (r+1)^2",
+        _hoga_memory,
+        _hoga_compute,
+    ),
+}
+
+
+def complexity_table() -> list[ComplexityEntry]:
+    """All rows of Table 1 in the paper's order."""
+    order = ["graphsage", "ladies", "graphsaint", "labor", "sgc", "sign", "hoga"]
+    return [COMPLEXITY_TABLE[k] for k in order]
+
+
+def evaluate_complexity(
+    L: int = 3,
+    b: int = 8000,
+    n: int = 2_000_000,
+    F: int = 256,
+    C: int = 10,
+    r: int | None = None,
+) -> list[dict]:
+    """Evaluate every row for a concrete workload (defaults ≈ the paper's medium graphs)."""
+    if min(L, b, n, F, C) <= 0:
+        raise ValueError("all workload parameters must be positive")
+    r = r if r is not None else L
+    return [
+        entry.evaluate(L=L, b=b, n=n, F=F, C=C, r=r) | {"family": entry.family}
+        for entry in complexity_table()
+    ]

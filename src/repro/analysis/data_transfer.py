@@ -1,0 +1,73 @@
+"""Data-transfer volume analysis (Appendix I).
+
+Compares the bytes that must move (disk → host → GPU) per training epoch for
+PP-GNNs versus sampled MP-GNNs.  PP-GNNs touch each labeled node's expanded
+features exactly once per epoch; MP-GNNs re-fetch the features of every node
+in every sampled receptive field, which overlaps heavily across batches and
+inflates the total by one to two orders of magnitude (before caching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dataloading.mpgnn_systems import NeighborExplosionEstimator
+from repro.datasets.catalog import PaperDatasetInfo
+
+
+@dataclass(frozen=True)
+class TransferVolumes:
+    """Per-epoch transferred bytes for the two model families on one dataset."""
+
+    dataset: str
+    pp_bytes: float
+    mp_bytes: float
+
+    @property
+    def mp_over_pp(self) -> float:
+        if self.pp_bytes <= 0:
+            return float("inf")
+        return self.mp_bytes / self.pp_bytes
+
+
+class DataTransferAnalysis:
+    """Computes Appendix-I style transfer volumes."""
+
+    def __init__(self, batch_size: int = 8000, dtype_bytes: int = 4) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.dtype_bytes = dtype_bytes
+
+    def pp_epoch_bytes(self, info: PaperDatasetInfo, hops: int, kernels: int = 1) -> float:
+        """PP-GNN: every training row's K(R+1) hop features, once per epoch."""
+        row_bytes = info.num_features * self.dtype_bytes * kernels * (hops + 1)
+        return float(info.train_nodes * row_bytes)
+
+    def mp_epoch_bytes(
+        self,
+        info: PaperDatasetInfo,
+        fanouts: Sequence[int],
+        overlap_factor: float = 1.0,
+    ) -> float:
+        """MP-GNN without caching: raw features of every sampled input node."""
+        estimator = NeighborExplosionEstimator(info.num_nodes, info.num_edges / info.num_nodes)
+        stats = estimator.batch_statistics(self.batch_size, fanouts, overlap_factor)
+        num_batches = max(1, int(round(info.train_nodes / self.batch_size)))
+        return float(stats["input_nodes"] * info.num_features * self.dtype_bytes * num_batches)
+
+    def compare(
+        self,
+        info: PaperDatasetInfo,
+        hops: int,
+        fanouts: Sequence[int],
+        kernels: int = 1,
+        overlap_factor: float = 0.75,
+    ) -> TransferVolumes:
+        """Per-epoch transfer volumes of both families on ``info``."""
+        return TransferVolumes(
+            dataset=info.name,
+            pp_bytes=self.pp_epoch_bytes(info, hops, kernels),
+            mp_bytes=self.mp_epoch_bytes(info, fanouts, overlap_factor),
+        )

@@ -1,0 +1,40 @@
+"""Accuracy-efficiency Pareto frontier (Figures 7 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One model configuration in the accuracy-vs-throughput plane."""
+
+    label: str
+    accuracy: float
+    throughput: float  # higher is better (e.g. epochs per second)
+    family: str = ""
+    metadata: dict | None = None
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both axes and better on one."""
+        at_least = self.accuracy >= other.accuracy and self.throughput >= other.throughput
+        strictly = self.accuracy > other.accuracy or self.throughput > other.throughput
+        return at_least and strictly
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Return the non-dominated subset, sorted by descending throughput.
+
+    A point is on the frontier iff no other point dominates it.
+    """
+    points = list(points)
+    frontier = [
+        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: (-p.throughput, -p.accuracy))
+
+
+def frontier_labels(points: Sequence[ParetoPoint]) -> set[str]:
+    """Convenience: labels of the frontier points."""
+    return {p.label for p in pareto_frontier(points)}

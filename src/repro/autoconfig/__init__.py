@@ -1,0 +1,14 @@
+"""Automated training configuration for PP-GNNs (Section 5 of the paper)."""
+
+from repro.autoconfig.probe import MemoryProbe, ProbeResult
+from repro.autoconfig.policy import DataPlacementPolicy, PlacementDecision
+from repro.autoconfig.planner import AutoConfigurator, TrainingPlan
+
+__all__ = [
+    "MemoryProbe",
+    "ProbeResult",
+    "DataPlacementPolicy",
+    "PlacementDecision",
+    "AutoConfigurator",
+    "TrainingPlan",
+]

@@ -1,0 +1,109 @@
+"""The automated training configuration system (Section 5).
+
+Ties together the memory probe, the placement policy and the cost model into a
+single entry point: give it the hardware, the dataset (paper-scale statistics)
+and the model, and it returns a :class:`TrainingPlan` with the chosen data
+placement, training method, per-GPU-count throughput estimates and the memory
+accounting that justified the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.autoconfig.policy import DataPlacementPolicy, PlacementDecision
+from repro.autoconfig.probe import MemoryProbe, ProbeResult
+from repro.dataloading.cost_model import ModelComputeProfile, PPGNNCostModel
+from repro.datasets.catalog import PaperDatasetInfo
+from repro.hardware.spec import HardwareSpec
+from repro.training.multi_gpu import MultiGpuSimulator
+from repro.utils.logging import get_logger
+
+logger = get_logger("autoconfig.planner")
+
+
+@dataclass
+class TrainingPlan:
+    """Everything the training pipeline needs to start, plus the rationale."""
+
+    dataset: str
+    model: str
+    hops: int
+    batch_size: int
+    decision: PlacementDecision
+    probe: ProbeResult
+    input_bytes: int
+    estimated_throughput: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def placement(self) -> str:
+        return self.decision.placement
+
+    @property
+    def method(self) -> str:
+        return self.decision.method
+
+    def summary(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "model": self.model,
+            "hops": self.hops,
+            "batch_size": self.batch_size,
+            "placement": self.placement,
+            "method": self.method,
+            "input_gb": self.input_bytes / 1e9,
+            "peak_gpu_gb": self.probe.total_bytes / 1e9,
+            "throughput_epochs_per_sec": self.estimated_throughput,
+            "reason": self.decision.reason,
+        }
+
+
+class AutoConfigurator:
+    """Automated configuration entry point."""
+
+    def __init__(self, hardware: HardwareSpec, allow_full_host_pinning: bool = True) -> None:
+        self.hw = hardware
+        self.probe = MemoryProbe()
+        self.policy = DataPlacementPolicy(hardware, allow_full_host_pinning=allow_full_host_pinning)
+        self.cost_model = PPGNNCostModel(hardware)
+        self.scaler = MultiGpuSimulator(hardware)
+
+    def plan(
+        self,
+        info: PaperDatasetInfo,
+        profile: ModelComputeProfile,
+        hops: int,
+        batch_size: int = 8000,
+        kernels: int = 1,
+        gpu_counts: Optional[tuple[int, ...]] = None,
+    ) -> TrainingPlan:
+        """Produce a full training plan for one (dataset, model, hops) workload."""
+        input_bytes = info.preprocessed_bytes(hops, kernels=kernels)
+        probe_result = self.probe.probe(info, profile, hops, batch_size, kernels=kernels)
+        decision = self.policy.decide(input_bytes, probe_result)
+        counts = gpu_counts or tuple(
+            c for c in (1, 2, 4) if c <= self.hw.num_gpus
+        )
+        scaling = self.scaler.evaluate(
+            info, profile, decision.strategy, hops, gpu_counts=counts, batch_size=batch_size
+        )
+        plan = TrainingPlan(
+            dataset=info.name,
+            model=profile.name,
+            hops=hops,
+            batch_size=batch_size,
+            decision=decision,
+            probe=probe_result,
+            input_bytes=input_bytes,
+            estimated_throughput=scaling.throughput,
+        )
+        logger.info(
+            "plan for %s/%s (%d hops): placement=%s method=%s",
+            info.name,
+            profile.name,
+            hops,
+            plan.placement,
+            plan.method,
+        )
+        return plan

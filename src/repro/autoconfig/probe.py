@@ -1,0 +1,69 @@
+"""Peak-memory probing for the automated configuration system.
+
+The paper adopts PaGraph's approach: before committing to a data placement, a
+one-time probing session (with storage-based loading, so it never OOMs)
+measures the model's peak GPU memory usage.  Here the probe is analytic — it
+accounts for the same contributors a CUDA memory profiler would report:
+parameters, optimizer state, activations of the widest layer, and the
+double-buffered input batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataloading.cost_model import ModelComputeProfile
+from repro.datasets.catalog import PaperDatasetInfo
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Estimated peak GPU memory (bytes) of one training configuration."""
+
+    parameter_bytes: int
+    optimizer_bytes: int
+    activation_bytes: int
+    input_buffer_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return int(
+            self.parameter_bytes
+            + self.optimizer_bytes
+            + self.activation_bytes
+            + self.input_buffer_bytes
+        )
+
+
+class MemoryProbe:
+    """Estimates peak training memory for a PP-GNN configuration."""
+
+    #: Adam keeps two moments per parameter plus the gradient.
+    OPTIMIZER_STATE_MULTIPLIER = 3.0
+    #: Activations retained for backward, relative to one batch's input size.
+    ACTIVATION_MULTIPLIER = 4.0
+
+    def probe(
+        self,
+        info: PaperDatasetInfo,
+        profile: ModelComputeProfile,
+        hops: int,
+        batch_size: int,
+        kernels: int = 1,
+        dtype_bytes: int = 4,
+        double_buffered: bool = True,
+    ) -> ProbeResult:
+        """Return the estimated peak GPU memory for this configuration."""
+        if hops < 0 or batch_size <= 0:
+            raise ValueError("hops must be >= 0 and batch_size positive")
+        param_bytes = int(profile.num_parameters * dtype_bytes)
+        optimizer_bytes = int(param_bytes * self.OPTIMIZER_STATE_MULTIPLIER)
+        batch_input = batch_size * info.num_features * dtype_bytes * kernels * (hops + 1)
+        buffers = 2 if double_buffered else 1
+        activation_bytes = int(batch_input * self.ACTIVATION_MULTIPLIER)
+        return ProbeResult(
+            parameter_bytes=param_bytes,
+            optimizer_bytes=optimizer_bytes,
+            activation_bytes=activation_bytes,
+            input_buffer_bytes=int(batch_input * buffers),
+        )

@@ -1,0 +1,61 @@
+"""Optimized data loading for PP-GNN training.
+
+Two complementary layers:
+
+* **Real loaders** (:mod:`~repro.dataloading.loaders`) implement the paper's
+  batch-assembly strategies over the replica feature stores and feed the
+  actual training loop — baseline per-row gather, fused index-op gather,
+  chunk-reshuffled GPU-side assembly, and memory-mapped (storage) reads.
+* **Cost models** (:mod:`~repro.dataloading.cost_model`,
+  :mod:`~repro.dataloading.mpgnn_systems`) evaluate each strategy at *paper
+  scale* on the simulated hardware, producing the epoch-time and throughput
+  numbers for Figures 4/9/14 and Tables 3-5.
+"""
+
+from repro.dataloading.batching import (
+    BatchSchedule,
+    chunk_reshuffle_schedule,
+    sgd_rr_schedule,
+)
+from repro.dataloading.loaders import (
+    BaselineLoader,
+    ChunkReshuffleLoader,
+    FusedLoader,
+    PPGNNBatch,
+    StorageLoader,
+    build_loader,
+)
+from repro.dataloading.cost_model import (
+    EpochCost,
+    LoaderStrategy,
+    ModelComputeProfile,
+    PPGNNCostModel,
+    STRATEGY_PRESETS,
+)
+from repro.dataloading.mpgnn_systems import (
+    MPGNNCostModel,
+    MPGNNSystemConfig,
+    NeighborExplosionEstimator,
+    MP_SYSTEM_PRESETS,
+)
+
+__all__ = [
+    "BatchSchedule",
+    "sgd_rr_schedule",
+    "chunk_reshuffle_schedule",
+    "PPGNNBatch",
+    "BaselineLoader",
+    "FusedLoader",
+    "ChunkReshuffleLoader",
+    "StorageLoader",
+    "build_loader",
+    "LoaderStrategy",
+    "ModelComputeProfile",
+    "EpochCost",
+    "PPGNNCostModel",
+    "STRATEGY_PRESETS",
+    "NeighborExplosionEstimator",
+    "MPGNNSystemConfig",
+    "MPGNNCostModel",
+    "MP_SYSTEM_PRESETS",
+]

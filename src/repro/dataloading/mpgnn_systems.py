@@ -1,0 +1,291 @@
+"""Cost models of MP-GNN training systems (DGL variants, GNNLab, SALIENT++, Ginex).
+
+The paper compares optimized PP-GNNs against GraphSAGE/GAT trained in several
+systems whose data paths differ (Sections 2.4 and 6):
+
+* **DGL-Vanilla** — CPU graph sampling, host-side feature gather, PCIe copy;
+* **DGL-UVA** — GPU sampling with zero-copy access to pinned host memory;
+* **DGL-Preload** — graph + features preloaded into GPU memory (only possible
+  when everything fits);
+* **GNNLab** — GPU sampling with GPU-side feature caching (hard-coded neighbor
+  sampler, larger subgraphs than LABOR);
+* **SALIENT++** — pipelined CPU sampling with distributed feature caching;
+* **Ginex** / **DGL-mmap** — storage-based training for inputs beyond host
+  memory.
+
+The models share a neighbor-explosion estimator that predicts how many unique
+nodes and edges a sampled mini-batch touches — the quantity that drives both
+the feature-gather volume and the aggregation compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.catalog import PaperDatasetInfo
+from repro.dataloading.cost_model import EpochCost
+from repro.hardware.spec import HardwareSpec
+from repro.hardware.streams import DoubleBufferPipeline
+from repro.hardware.transfer import TransferEngine
+
+
+class NeighborExplosionEstimator:
+    """Estimates per-layer frontier sizes of sampled mini-batches.
+
+    Uses the standard occupancy approximation: drawing ``m`` targets uniformly
+    from ``N`` candidates yields ``N (1 - exp(-m / N))`` unique nodes, which
+    captures the saturation of the frontier as it approaches the full graph.
+    LABOR's correlated sampling is modelled as an additional overlap factor
+    (< 1) on the number of drawn targets, matching its fewer-unique-nodes
+    property.
+    """
+
+    def __init__(self, num_nodes: int, avg_degree: float) -> None:
+        if num_nodes <= 0 or avg_degree <= 0:
+            raise ValueError("num_nodes and avg_degree must be positive")
+        self.num_nodes = num_nodes
+        self.avg_degree = avg_degree
+
+    def frontier_sizes(
+        self,
+        batch_size: int,
+        fanouts: Sequence[int],
+        overlap_factor: float = 1.0,
+    ) -> list[float]:
+        """Frontier sizes from the seeds (index 0) out to the deepest layer."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0 < overlap_factor <= 1:
+            raise ValueError("overlap_factor must be in (0, 1]")
+        sizes = [float(min(batch_size, self.num_nodes))]
+        for fanout in fanouts:
+            per_node = min(float(fanout), self.avg_degree)
+            drawn = sizes[-1] * per_node * overlap_factor
+            unique = self.num_nodes * (1.0 - np.exp(-drawn / self.num_nodes))
+            # the previous frontier is always included (self connections)
+            sizes.append(float(min(self.num_nodes, unique + sizes[-1])))
+        return sizes
+
+    def batch_statistics(
+        self, batch_size: int, fanouts: Sequence[int], overlap_factor: float = 1.0
+    ) -> dict:
+        sizes = self.frontier_sizes(batch_size, fanouts, overlap_factor)
+        edges = sum(
+            sizes[i] * min(float(f), self.avg_degree) for i, f in enumerate(fanouts)
+        )
+        return {
+            "input_nodes": sizes[-1],
+            "frontier_sizes": sizes,
+            "sampled_edges": edges,
+        }
+
+
+@dataclass(frozen=True)
+class MPGNNSystemConfig:
+    """Data-path description of one MP-GNN training system."""
+
+    name: str
+    sampling_device: str  # "cpu" or "gpu"
+    feature_location: str  # "gpu", "host", "host_cached", "storage", "storage_cached"
+    zero_copy: bool = False  # UVA-style direct GPU access to pinned host memory
+    cache_hit_rate: float = 0.0  # fraction of feature bytes served from the cache
+    sampler_overlap: float = 1.0  # LABOR < 1.0, hard-coded neighbor samplers = 1.0
+    pipeline: bool = False  # sampling/loading overlapped with compute
+    supports_multi_gpu: bool = True
+    oom_layers: Optional[int] = None  # sampled-subgraph OOM beyond this many layers
+
+
+MP_SYSTEM_PRESETS: Dict[str, MPGNNSystemConfig] = {
+    "dgl-vanilla": MPGNNSystemConfig(
+        name="dgl-vanilla", sampling_device="cpu", feature_location="host",
+        sampler_overlap=0.75, supports_multi_gpu=False,
+    ),
+    "dgl-uva": MPGNNSystemConfig(
+        name="dgl-uva", sampling_device="gpu", feature_location="host", zero_copy=True,
+        sampler_overlap=0.75, supports_multi_gpu=False,
+    ),
+    "dgl-preload": MPGNNSystemConfig(
+        name="dgl-preload", sampling_device="gpu", feature_location="gpu",
+        sampler_overlap=0.75,
+    ),
+    "gnnlab": MPGNNSystemConfig(
+        name="gnnlab", sampling_device="gpu", feature_location="host_cached",
+        cache_hit_rate=0.8, sampler_overlap=1.0, pipeline=True,
+    ),
+    "salient++": MPGNNSystemConfig(
+        name="salient++", sampling_device="cpu", feature_location="host_cached",
+        cache_hit_rate=0.6, sampler_overlap=1.0, pipeline=True,
+    ),
+    # The storage-based systems keep most hot features in host memory (Ginex's
+    # provably-optimal cache / the OS page cache for mmap-ed DGL), so only a
+    # small miss fraction actually touches the SSD per batch.
+    "ginex": MPGNNSystemConfig(
+        name="ginex", sampling_device="cpu", feature_location="storage_cached",
+        cache_hit_rate=0.95, sampler_overlap=1.0, pipeline=True, supports_multi_gpu=False,
+    ),
+    "dgl-mmap": MPGNNSystemConfig(
+        name="dgl-mmap", sampling_device="cpu", feature_location="storage_cached",
+        cache_hit_rate=0.90, sampler_overlap=0.75, supports_multi_gpu=False,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class MPModelComputeProfile:
+    """Compute characteristics of the MP-GNN backbone (per sampled batch)."""
+
+    name: str
+    hidden_dim: int
+    feature_dim: int
+    num_classes: int
+    attention_heads: int = 1  # > 1 adds GAT's per-edge attention cost
+
+    def batch_flops(self, frontier_sizes: Sequence[float], sampled_edges: float) -> float:
+        """Forward FLOPs for one sampled batch: dense transforms + sparse aggregation."""
+        flops = 0.0
+        f_in = self.feature_dim
+        for layer, size in enumerate(reversed(frontier_sizes[:-1])):
+            f_out = self.hidden_dim if layer < len(frontier_sizes) - 2 else self.num_classes
+            flops += 2.0 * size * f_in * f_out * max(1, self.attention_heads)
+            f_in = self.hidden_dim * max(1, self.attention_heads)
+        # aggregation: one multiply-add per edge per feature (plus attention scores)
+        flops += 2.0 * sampled_edges * self.hidden_dim * max(1, self.attention_heads)
+        if self.attention_heads > 1:
+            flops += 6.0 * sampled_edges * self.hidden_dim
+        return flops
+
+
+class MPGNNCostModel:
+    """Epoch-time estimation for MP-GNN systems at paper scale."""
+
+    # Sampling cost coefficients: work per sampled edge, in elementary ops.
+    CPU_OPS_PER_SAMPLED_EDGE = 60.0
+    GPU_OPS_PER_SAMPLED_EDGE = 18.0
+
+    def __init__(self, hardware: HardwareSpec) -> None:
+        self.hw = hardware
+        self.engine = TransferEngine(hardware)
+
+    def estimate(
+        self,
+        info: PaperDatasetInfo,
+        model: MPModelComputeProfile,
+        system: MPGNNSystemConfig,
+        fanouts: Sequence[int],
+        batch_size: int = 8000,
+        active_gpus: int = 1,
+        dtype_bytes: int = 4,
+    ) -> EpochCost:
+        """Estimate one epoch of sampled training for ``system``."""
+        if system.oom_layers is not None and len(fanouts) > system.oom_layers:
+            raise MemoryError(
+                f"{system.name} runs out of memory beyond {system.oom_layers} layers "
+                f"(requested {len(fanouts)})"
+            )
+        active_gpus = max(1, min(active_gpus, self.hw.num_gpus))
+        if active_gpus > 1 and not system.supports_multi_gpu:
+            raise MemoryError(f"{system.name} does not support multi-GPU execution at this scale")
+
+        estimator = NeighborExplosionEstimator(info.num_nodes, info.num_edges / info.num_nodes)
+        stats = estimator.batch_statistics(batch_size, fanouts, overlap_factor=system.sampler_overlap)
+        input_nodes = stats["input_nodes"]
+        sampled_edges = stats["sampled_edges"]
+
+        rows_total = max(info.train_nodes, 1)
+        rows_per_gpu = int(np.ceil(rows_total / active_gpus))
+        num_batches = max(1, int(np.ceil(rows_per_gpu / batch_size)))
+
+        sampling = self._sampling_time(system, sampled_edges)
+        gather, transfer = self._feature_path(system, info, input_nodes, dtype_bytes, active_gpus)
+        flops = model.batch_flops(stats["frontier_sizes"], sampled_edges)
+        compute = self.engine.gpu_compute_time(flops * 3.0, num_kernels=40 * len(fanouts))
+        optimizer = self.engine.gpu_compute_time(4.0 * 2e6, num_kernels=4)
+
+        load = sampling + gather + transfer
+        work = compute + optimizer
+        pipeline = DoubleBufferPipeline(enabled=system.pipeline)
+        epoch_seconds = pipeline.epoch_time([load] * num_batches, [work] * num_batches)
+
+        return EpochCost(
+            strategy=system.name,
+            num_batches=num_batches,
+            assembly_seconds=(sampling + gather) * num_batches,
+            transfer_seconds=transfer * num_batches,
+            compute_seconds=compute * num_batches,
+            optimizer_seconds=optimizer * num_batches,
+            epoch_seconds=epoch_seconds,
+            per_batch={
+                "sampling": sampling,
+                "gather": gather,
+                "transfer": transfer,
+                "compute": compute,
+                "input_nodes": input_nodes,
+                "sampled_edges": sampled_edges,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _sampling_time(self, system: MPGNNSystemConfig, sampled_edges: float) -> float:
+        if system.sampling_device == "cpu":
+            return self.engine.cpu_compute_time(sampled_edges * self.CPU_OPS_PER_SAMPLED_EDGE)
+        return self.engine.gpu_compute_time(
+            sampled_edges * self.GPU_OPS_PER_SAMPLED_EDGE, num_kernels=30
+        )
+
+    def _feature_path(
+        self,
+        system: MPGNNSystemConfig,
+        info: PaperDatasetInfo,
+        input_nodes: float,
+        dtype_bytes: int,
+        active_gpus: int,
+    ) -> tuple[float, float]:
+        """Return per-batch (gather_seconds, transfer_seconds) for node features."""
+        feature_bytes = input_nodes * info.num_features * dtype_bytes
+        rows = int(np.ceil(input_nodes))
+        location = system.feature_location
+
+        if location == "gpu":
+            gather = self.engine.gpu_gather(rows, info.num_features * dtype_bytes)
+            return gather.total, 0.0
+
+        row_bytes = info.num_features * dtype_bytes
+        # MP-GNN systems extract features with many worker threads (OpenMP in
+        # DGL / dedicated extraction threads in SALIENT++), unlike the
+        # single-worker PyTorch DataLoader path of the PP-GNN baselines.
+        parallel_gather_seconds = lambda n_rows: (
+            n_rows * row_bytes / self.hw.host_memory.effective_parallel_random_bandwidth
+        )
+
+        if location in ("host", "host_cached"):
+            miss = 1.0 - (system.cache_hit_rate if location == "host_cached" else 0.0)
+            gather = self.engine.fused_gather(
+                self.hw.host_memory, int(rows * miss), row_bytes
+            )
+            gather = type(gather)(
+                launch_seconds=gather.launch_seconds,
+                copy_seconds=parallel_gather_seconds(rows * miss),
+            )
+            if system.zero_copy:
+                # UVA zero-copy: reads cross PCIe at gather time; no separate DMA,
+                # but the effective bandwidth is the link's, not DRAM's.
+                transfer = self.hw.pcie.transfer_time(feature_bytes * miss, num_transfers=1)
+                return gather.launch_seconds, transfer
+            transfer = self.engine.host_to_gpu(
+                feature_bytes * miss, num_transfers=2, active_gpus=active_gpus
+            )
+            cached_gather = self.engine.gpu_gather(int(rows * (1.0 - miss)), row_bytes)
+            return gather.total + cached_gather.total, transfer
+
+        # storage-backed feature access: misses hit the SSD with random reads,
+        # hits are gathered out of the host-side cache with parallel workers.
+        miss = 1.0 - (system.cache_hit_rate if location == "storage_cached" else 0.0)
+        random_read = self.engine.storage_to_host(
+            feature_bytes * miss, num_requests=max(1, int(rows * miss / 64)), random=True
+        )
+        host_gather_seconds = parallel_gather_seconds(rows * (1.0 - miss))
+        transfer = self.engine.host_to_gpu(feature_bytes, num_transfers=2, active_gpus=active_gpus)
+        return random_read + host_gather_seconds, transfer

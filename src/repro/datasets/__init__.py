@@ -1,0 +1,20 @@
+"""Dataset replicas and the catalog of the paper's benchmark statistics."""
+
+from repro.datasets.catalog import PAPER_DATASETS, PaperDatasetInfo, paper_dataset_info
+from repro.datasets.splits import Split, random_split, split_from_fractions
+from repro.datasets.synthetic import NodeClassificationDataset, make_synthetic_dataset
+from repro.datasets.registry import DATASET_REGISTRY, available_datasets, load_dataset
+
+__all__ = [
+    "PAPER_DATASETS",
+    "PaperDatasetInfo",
+    "paper_dataset_info",
+    "Split",
+    "random_split",
+    "split_from_fractions",
+    "NodeClassificationDataset",
+    "make_synthetic_dataset",
+    "DATASET_REGISTRY",
+    "available_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,156 @@
+"""Catalog of the paper's benchmark datasets (Table 2).
+
+These records carry the *paper-scale* statistics — node/edge counts, feature
+dimensions, on-disk byte sizes and preprocessing times — which the hardware
+simulator and the placement policy use when reproducing the large-graph
+experiments (Tables 3-5, Figure 14).  The in-memory training replicas are
+scaled down (see :mod:`repro.datasets.synthetic`), but the placement decisions
+must be driven by the real sizes to exercise the same regimes
+(fits-in-GPU / host-memory / storage-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class PaperDatasetInfo:
+    """Statistics for one benchmark dataset as reported in Table 2."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    labeled_fraction: float
+    split: tuple[float, float, float]
+    num_features: int
+    num_classes: int
+    graph_bytes: int
+    feature_bytes: int
+    preprocess_seconds: float
+    preprocess_fraction_of_run: float
+    paper_hops: int
+
+    @property
+    def labeled_nodes(self) -> int:
+        return int(round(self.num_nodes * self.labeled_fraction))
+
+    @property
+    def train_nodes(self) -> int:
+        return int(round(self.labeled_nodes * self.split[0]))
+
+    def bytes_per_node_feature(self) -> float:
+        """Average stored bytes per node of raw input features."""
+        return self.feature_bytes / self.num_nodes
+
+    def preprocessed_bytes(self, hops: int, kernels: int = 1, dtype_bytes: int = 4) -> int:
+        """Size of the pre-propagated input after input expansion.
+
+        Only labeled nodes need to be stored after preprocessing (Section 6.4),
+        and the input expands to ``kernels * (hops + 1)`` matrices (Eq. 2).
+        """
+        if hops < 0 or kernels < 1:
+            raise ValueError("hops must be >= 0 and kernels >= 1")
+        per_hop = self.labeled_nodes * self.num_features * dtype_bytes
+        return int(per_hop * kernels * (hops + 1))
+
+
+PAPER_DATASETS: dict[str, PaperDatasetInfo] = {
+    "products": PaperDatasetInfo(
+        name="ogbn-products",
+        num_nodes=2_449_029,
+        num_edges=61_859_140,
+        labeled_fraction=1.0,
+        split=(0.08, 0.02, 0.90),
+        num_features=100,
+        num_classes=47,
+        graph_bytes=int(0.9 * GB),
+        feature_bytes=int(0.9 * GB),
+        preprocess_seconds=51.8,
+        preprocess_fraction_of_run=0.53,
+        paper_hops=6,
+    ),
+    "pokec": PaperDatasetInfo(
+        name="pokec",
+        num_nodes=1_632_803,
+        num_edges=30_622_564,
+        labeled_fraction=1.0,
+        split=(0.5, 0.25, 0.25),
+        num_features=65,
+        num_classes=2,
+        graph_bytes=int(0.5 * GB),
+        feature_bytes=int(0.4 * GB),
+        preprocess_seconds=27.59,
+        preprocess_fraction_of_run=0.03,
+        paper_hops=6,
+    ),
+    "wiki": PaperDatasetInfo(
+        name="wiki",
+        num_nodes=1_925_342,
+        num_edges=303_434_860,
+        labeled_fraction=1.0,
+        split=(0.5, 0.25, 0.25),
+        num_features=600,
+        num_classes=5,
+        graph_bytes=int(4.5 * GB),
+        feature_bytes=int(4.3 * GB),
+        preprocess_seconds=122.79,
+        preprocess_fraction_of_run=0.11,
+        paper_hops=6,
+    ),
+    "igb-medium": PaperDatasetInfo(
+        name="IGB-medium",
+        num_nodes=10_000_000,
+        num_edges=120_077_694,
+        labeled_fraction=1.0,
+        split=(0.6, 0.2, 0.2),
+        num_features=1024,
+        num_classes=19,
+        graph_bytes=int(1.8 * GB),
+        feature_bytes=int(39.0 * GB),
+        preprocess_seconds=386.63,
+        preprocess_fraction_of_run=0.11,
+        paper_hops=3,
+    ),
+    "papers100m": PaperDatasetInfo(
+        name="ogbn-papers100M",
+        num_nodes=111_059_956,
+        num_edges=1_615_685_872,
+        labeled_fraction=0.014,
+        split=(0.78, 0.08, 0.14),
+        num_features=128,
+        num_classes=172,
+        graph_bytes=int(24 * GB),
+        feature_bytes=int(53 * GB),
+        preprocess_seconds=507.8,
+        preprocess_fraction_of_run=0.90,
+        paper_hops=4,
+    ),
+    "igb-large": PaperDatasetInfo(
+        name="IGB-large",
+        num_nodes=100_000_000,
+        num_edges=1_223_571_364,
+        labeled_fraction=1.0,
+        split=(0.6, 0.2, 0.2),
+        num_features=1024,
+        num_classes=19,
+        graph_bytes=int(19 * GB),
+        feature_bytes=int(400 * GB),
+        preprocess_seconds=4521.5,
+        preprocess_fraction_of_run=0.28,
+        paper_hops=3,
+    ),
+}
+
+MEDIUM_DATASETS = ("products", "pokec", "wiki")
+LARGE_DATASETS = ("papers100m", "igb-medium", "igb-large")
+
+
+def paper_dataset_info(name: str) -> PaperDatasetInfo:
+    """Look up a dataset's paper-scale statistics by short name."""
+    key = name.lower()
+    if key not in PAPER_DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(PAPER_DATASETS)}")
+    return PAPER_DATASETS[key]

@@ -1,0 +1,68 @@
+"""Dataset registry with a small in-process cache.
+
+Experiments reuse the same replicas across many configurations; regenerating
+the SBM graph and planted features each time would dominate the runtime, so
+``load_dataset`` memoizes per ``(name, seed, num_nodes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.datasets.synthetic import (
+    REPLICA_RECIPES,
+    NodeClassificationDataset,
+    make_synthetic_dataset,
+)
+from repro.utils.logging import get_logger
+
+logger = get_logger("datasets.registry")
+
+DatasetFactory = Callable[..., NodeClassificationDataset]
+
+DATASET_REGISTRY: Dict[str, DatasetFactory] = {
+    name: (lambda name=name, **kw: make_synthetic_dataset(name, **kw)) for name in REPLICA_RECIPES
+}
+
+_CACHE: dict[tuple, NodeClassificationDataset] = {}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(DATASET_REGISTRY)
+
+
+def register_dataset(name: str, factory: DatasetFactory, overwrite: bool = False) -> None:
+    """Register a custom dataset factory under ``name``."""
+    key = name.lower()
+    if key in DATASET_REGISTRY and not overwrite:
+        raise KeyError(f"dataset {name!r} already registered; pass overwrite=True to replace")
+    DATASET_REGISTRY[key] = factory
+
+
+def load_dataset(
+    name: str,
+    seed: int = 0,
+    num_nodes: Optional[int] = None,
+    use_cache: bool = True,
+) -> NodeClassificationDataset:
+    """Load (and cache) a dataset replica by name."""
+    key = name.lower()
+    if key not in DATASET_REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    cache_key = (key, seed, num_nodes)
+    if use_cache and cache_key in _CACHE:
+        return _CACHE[cache_key]
+    logger.info("building dataset %s (seed=%s, num_nodes=%s)", key, seed, num_nodes)
+    kwargs = {"seed": seed}
+    if num_nodes is not None:
+        kwargs["num_nodes"] = num_nodes
+    dataset = DATASET_REGISTRY[key](**kwargs)
+    if use_cache:
+        _CACHE[cache_key] = dataset
+    return dataset
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached datasets (used by tests that need fresh RNG streams)."""
+    _CACHE.clear()

@@ -1,0 +1,93 @@
+"""Train/validation/test split handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index sets for node-classification training."""
+
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        for field_name in ("train", "valid", "test"):
+            arr = np.asarray(getattr(self, field_name), dtype=np.int64)
+            object.__setattr__(self, field_name, arr)
+        all_idx = np.concatenate([self.train, self.valid, self.test])
+        if len(np.unique(all_idx)) != len(all_idx):
+            raise ValueError("split index sets overlap")
+
+    @property
+    def num_labeled(self) -> int:
+        return int(self.train.size + self.valid.size + self.test.size)
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {"train": self.train, "valid": self.valid, "test": self.test}
+
+    def fractions(self) -> tuple[float, float, float]:
+        total = max(self.num_labeled, 1)
+        return (self.train.size / total, self.valid.size / total, self.test.size / total)
+
+
+def split_from_fractions(
+    labeled_nodes: np.ndarray,
+    fractions: tuple[float, float, float],
+    seed: SeedLike = None,
+) -> Split:
+    """Randomly split ``labeled_nodes`` into train/valid/test by ``fractions``.
+
+    Fractions must sum to 1 (within rounding).  Matches the per-dataset splits
+    listed in Table 2 of the paper.
+    """
+    fr_train, fr_valid, fr_test = fractions
+    total = fr_train + fr_valid + fr_test
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"fractions must sum to 1, got {total}")
+    if min(fractions) < 0:
+        raise ValueError("fractions must be non-negative")
+    rng = new_rng(seed)
+    labeled_nodes = np.asarray(labeled_nodes, dtype=np.int64)
+    perm = rng.permutation(labeled_nodes)
+    n = perm.size
+    n_train = int(round(n * fr_train))
+    n_valid = int(round(n * fr_valid))
+    n_train = min(n_train, n)
+    n_valid = min(n_valid, n - n_train)
+    return Split(
+        train=np.sort(perm[:n_train]),
+        valid=np.sort(perm[n_train : n_train + n_valid]),
+        test=np.sort(perm[n_train + n_valid :]),
+    )
+
+
+def random_split(
+    num_nodes: int,
+    fractions: tuple[float, float, float] = (0.6, 0.2, 0.2),
+    labeled_fraction: float = 1.0,
+    seed: SeedLike = None,
+) -> Split:
+    """Split a graph's nodes, optionally labeling only a subset first.
+
+    ``labeled_fraction < 1`` reproduces the ogbn-papers100M situation where
+    only 1.4 % of nodes carry labels and hence only those appear in any split.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if not 0 < labeled_fraction <= 1:
+        raise ValueError("labeled_fraction must be in (0, 1]")
+    rng = new_rng(seed)
+    all_nodes = np.arange(num_nodes, dtype=np.int64)
+    if labeled_fraction < 1.0:
+        count = max(1, int(round(num_nodes * labeled_fraction)))
+        labeled = np.sort(rng.choice(all_nodes, size=count, replace=False))
+    else:
+        labeled = all_nodes
+    return split_from_fractions(labeled, fractions, seed=rng)

@@ -1,0 +1,48 @@
+"""Experiment drivers — one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a plain dict (JSON-able)
+with the rows/series the corresponding paper artifact reports, plus a
+``format_result`` helper that renders it as text.  The benchmarks call these
+drivers with reduced workloads; ``repro.experiments.runner`` runs everything
+and writes a results directory.
+"""
+
+from repro.experiments import (
+    appendix_i_transfer,
+    fig2_accuracy_hops,
+    fig3_convergence,
+    fig4_epoch_time,
+    fig5_breakdown,
+    fig7_pareto,
+    fig8_chunk_reshuffle,
+    fig9_ablation,
+    fig13_convergence_large,
+    fig14_placement,
+    tab1_complexity,
+    tab2_datasets,
+    tab3_papers100m,
+    tab4_igb_medium,
+    tab5_igb_large,
+    tab7_preprocessing,
+)
+
+ALL_EXPERIMENTS = {
+    "tab1_complexity": tab1_complexity,
+    "tab2_datasets": tab2_datasets,
+    "fig2_accuracy_hops": fig2_accuracy_hops,
+    "fig3_convergence": fig3_convergence,
+    "fig4_epoch_time": fig4_epoch_time,
+    "fig5_breakdown": fig5_breakdown,
+    "fig7_pareto": fig7_pareto,
+    "fig8_chunk_reshuffle": fig8_chunk_reshuffle,
+    "fig9_ablation": fig9_ablation,
+    "fig13_convergence_large": fig13_convergence_large,
+    "fig14_placement": fig14_placement,
+    "tab3_papers100m": tab3_papers100m,
+    "tab4_igb_medium": tab4_igb_medium,
+    "tab5_igb_large": tab5_igb_large,
+    "tab7_preprocessing": tab7_preprocessing,
+    "appendix_i_transfer": appendix_i_transfer,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,40 @@
+"""Appendix I — total data-transfer volume of PP-GNNs vs MP-GNNs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.data_transfer import DataTransferAnalysis
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import format_table
+from repro.sampling.registry import default_fanouts
+
+
+def run(
+    datasets: Sequence[str] = ("products", "pokec", "wiki", "papers100m", "igb-medium", "igb-large"),
+    batch_size: int = 8000,
+) -> dict:
+    analysis = DataTransferAnalysis(batch_size=batch_size)
+    rows = []
+    for key in datasets:
+        info = PAPER_DATASETS[key]
+        hops = min(info.paper_hops, 3)
+        volumes = analysis.compare(info, hops=hops, fanouts=default_fanouts(3))
+        rows.append(
+            {
+                "dataset": info.name,
+                "hops": hops,
+                "pp_gb": volumes.pp_bytes / 1e9,
+                "mp_gb": volumes.mp_bytes / 1e9,
+                "mp_over_pp": volumes.mp_over_pp,
+            }
+        )
+    return {"rows": rows}
+
+
+def format_result(result: dict) -> str:
+    return format_table(
+        result["rows"],
+        ["dataset", "hops", "pp_gb", "mp_gb", "mp_over_pp"],
+        "Appendix I — per-epoch data transfer volume (no caching)",
+    )

@@ -1,0 +1,56 @@
+"""Figure 14 / Appendix H — influence of data placement on epoch time.
+
+Evaluates GPU-resident SGD-RR, host memory with chunk reshuffling, host memory
+with SGD-RR, and SSD (GDS) with chunk reshuffling, normalized to the
+GPU-resident configuration.  Expected ordering (paper): GPU ≈ Host-CR faster
+than Host-RR ≈ SSD-CR, with the gap largest for the lightweight models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataloading.cost_model import PPGNNCostModel
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import format_table, geometric_mean, pp_profile
+from repro.hardware.presets import paper_server
+
+PLACEMENTS = ("gpu_rr", "host_cr", "host_rr", "ssd_cr")
+
+
+def run(
+    datasets: Sequence[str] = ("products", "pokec", "wiki"),
+    models: Sequence[str] = ("hoga", "sign", "sgc"),
+    hop_range: Sequence[int] = (2, 3, 4, 5, 6),
+    batch_size: int = 8000,
+) -> dict:
+    cost_model = PPGNNCostModel(paper_server(1))
+    rows = []
+    overall = {key: [] for key in PLACEMENTS}
+    for dataset in datasets:
+        info = PAPER_DATASETS[dataset]
+        for model_name in models:
+            normalized = {key: [] for key in PLACEMENTS}
+            for hops in hop_range:
+                profile = pp_profile(model_name, info, hops)
+                study = cost_model.placement_study(info, profile, hops, batch_size=batch_size)
+                base = study["gpu_rr"].epoch_seconds
+                for key in PLACEMENTS:
+                    normalized[key].append(study[key].epoch_seconds / base)
+            row = {"dataset": dataset, "model": model_name.upper()}
+            for key in PLACEMENTS:
+                row[key] = geometric_mean(normalized[key])
+                overall[key].append(row[key])
+            rows.append(row)
+    summary = {key: geometric_mean(values) for key, values in overall.items()}
+    return {"rows": rows, "summary": summary}
+
+
+def format_result(result: dict) -> str:
+    table = format_table(
+        result["rows"],
+        ["dataset", "model", *PLACEMENTS],
+        "Figure 14 — normalized epoch time by data placement (GPU = 1.0)",
+    )
+    s = result["summary"]
+    return table + "\n\nGeo-mean slowdown vs GPU: " + ", ".join(f"{k}={v:.2f}x" for k, v in s.items())

@@ -1,0 +1,58 @@
+"""Figure 4 — epoch-time comparison of vanilla PP-GNNs vs optimized MP-GNNs.
+
+Evaluated with the paper-scale cost models: GraphSAGE (LABOR sampler) under
+DGL-Vanilla / DGL-UVA / DGL-Preload against the *unoptimized* PP-GNN
+baselines.  The paper's point: without tailored system optimizations, PP-GNNs
+are *slower* per epoch than a fully optimized DGL pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataloading.cost_model import PPGNNCostModel, STRATEGY_PRESETS
+from repro.dataloading.mpgnn_systems import MPGNNCostModel, MPModelComputeProfile, MP_SYSTEM_PRESETS
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import format_table, pp_profile
+from repro.hardware.presets import paper_server
+from repro.sampling.registry import default_fanouts
+
+
+def run(
+    datasets: Sequence[str] = ("products", "pokec", "wiki"),
+    hops: int = 3,
+    batch_size: int = 8000,
+    pp_models: Sequence[str] = ("hoga", "sign", "sgc"),
+    mp_systems: Sequence[str] = ("dgl-vanilla", "dgl-uva", "dgl-preload"),
+) -> dict:
+    hw = paper_server(1)
+    pp_model = PPGNNCostModel(hw)
+    mp_model = MPGNNCostModel(hw)
+    rows = []
+    for name in datasets:
+        info = PAPER_DATASETS[name]
+        sage = MPModelComputeProfile(
+            "sage", hidden_dim=256, feature_dim=info.num_features, num_classes=info.num_classes
+        )
+        for system in mp_systems:
+            cost = mp_model.estimate(
+                info, sage, MP_SYSTEM_PRESETS[system], fanouts=default_fanouts(hops), batch_size=batch_size
+            )
+            rows.append(
+                {"dataset": name, "method": f"SAGE-{system}", "family": "mp", "epoch_seconds": cost.epoch_seconds}
+            )
+        for model_name in pp_models:
+            profile = pp_profile(model_name, info, hops)
+            cost = pp_model.estimate(info, profile, STRATEGY_PRESETS["baseline"], hops, batch_size=batch_size)
+            rows.append(
+                {"dataset": name, "method": f"{model_name.upper()}-vanilla", "family": "pp", "epoch_seconds": cost.epoch_seconds}
+            )
+    return {"rows": rows, "hops": hops}
+
+
+def format_result(result: dict) -> str:
+    return format_table(
+        result["rows"],
+        ["dataset", "method", "family", "epoch_seconds"],
+        f"Figure 4 — epoch time, vanilla PP-GNNs vs DGL-optimized GraphSAGE ({result['hops']} hops/layers)",
+    )

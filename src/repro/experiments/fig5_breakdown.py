@@ -1,0 +1,79 @@
+"""Figure 5 — training-time breakdown of baseline PP-GNN implementations.
+
+Two views of the same breakdown:
+
+* ``measured`` — real wall-clock fractions from training the replica with the
+  per-row baseline loader (small scale, but the data-loading share emerges
+  from the same per-row gather pathology);
+* ``modeled`` — the paper-scale cost model's serial-time fractions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dataloading.cost_model import PPGNNCostModel, STRATEGY_PRESETS
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import QUICK_NODE_COUNTS, format_table, pp_profile, prepare_pp_data
+from repro.hardware.presets import paper_server
+from repro.models.registry import build_pp_model
+from repro.training.breakdown import measure_pp_breakdown
+
+
+def run(
+    dataset: str = "products",
+    hops: int = 3,
+    models: Sequence[str] = ("hoga", "sign", "sgc"),
+    num_nodes: Optional[int] = None,
+    num_epochs: int = 1,
+    batch_size: int = 512,
+    seed: int = 0,
+) -> dict:
+    prepared = prepare_pp_data(dataset, hops=hops, num_nodes=num_nodes or QUICK_NODE_COUNTS[dataset], seed=seed)
+    info = PAPER_DATASETS[dataset]
+    cost_model = PPGNNCostModel(paper_server(1))
+    rows = []
+    for model_name in models:
+        model = build_pp_model(
+            model_name,
+            in_features=prepared.dataset.num_features,
+            num_classes=prepared.dataset.num_classes,
+            num_hops=hops,
+            seed=seed,
+        )
+        loader = prepared.loader("baseline", batch_size, seed=seed)
+        measured = measure_pp_breakdown(
+            model, loader, prepared.dataset, num_epochs=num_epochs, batch_size=batch_size, seed=seed
+        )
+        modeled = cost_model.estimate(
+            info, pp_profile(model_name, info, hops), STRATEGY_PRESETS["baseline"], hops
+        ).breakdown_fractions()
+        fractions = measured.fractions()
+        rows.append(
+            {
+                "model": model_name.upper(),
+                "measured_data_loading": fractions.get("data_loading", 0.0),
+                "measured_forward": fractions.get("forward", 0.0),
+                "measured_backward": fractions.get("backward", 0.0),
+                "measured_optimizer": fractions.get("optimizer", 0.0),
+                "modeled_data_loading": modeled.get("data_loading", 0.0),
+                "modeled_compute": modeled.get("compute", 0.0),
+            }
+        )
+    return {"dataset": dataset, "hops": hops, "rows": rows}
+
+
+def format_result(result: dict) -> str:
+    return format_table(
+        result["rows"],
+        [
+            "model",
+            "measured_data_loading",
+            "measured_forward",
+            "measured_backward",
+            "measured_optimizer",
+            "modeled_data_loading",
+            "modeled_compute",
+        ],
+        f"Figure 5 — PP-GNN baseline time breakdown on {result['dataset']}",
+    )

@@ -1,0 +1,97 @@
+"""Figures 7 and 11 — accuracy-efficiency trade-off and Pareto frontier.
+
+Accuracy comes from training on the replicas; throughput comes from the
+paper-scale cost models (optimized PP-GNN pipeline vs DGL-Preload MP-GNNs).
+The paper's finding: after the system optimizations, the PP-GNNs sit on the
+Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.pareto import ParetoPoint, pareto_frontier
+from repro.dataloading.cost_model import PPGNNCostModel, STRATEGY_PRESETS
+from repro.dataloading.mpgnn_systems import MPGNNCostModel, MPModelComputeProfile, MP_SYSTEM_PRESETS
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import (
+    QUICK_NODE_COUNTS,
+    format_table,
+    pp_profile,
+    prepare_pp_data,
+    train_mp,
+    train_pp,
+)
+from repro.hardware.presets import paper_server
+from repro.sampling.registry import default_fanouts
+
+
+def run(
+    dataset: str = "wiki",
+    hop_range: Sequence[int] = (2, 3),
+    num_epochs: int = 12,
+    num_nodes: Optional[int] = None,
+    batch_size: int = 512,
+    seed: int = 0,
+    pp_models: Sequence[str] = ("hoga", "sign", "sgc"),
+    mp_configs: Sequence[tuple[str, str]] = (("sage", "labor"), ("sage", "saint")),
+) -> dict:
+    info = PAPER_DATASETS[dataset]
+    hw = paper_server(1)
+    pp_cost = PPGNNCostModel(hw)
+    mp_cost = MPGNNCostModel(hw)
+    points = []
+    for hops in hop_range:
+        prepared = prepare_pp_data(dataset, hops=hops, num_nodes=num_nodes or QUICK_NODE_COUNTS[dataset], seed=seed)
+        for model_name in pp_models:
+            history, _ = train_pp(model_name, prepared, num_epochs=num_epochs, batch_size=batch_size, seed=seed)
+            cost = pp_cost.estimate(info, pp_profile(model_name, info, hops), STRATEGY_PRESETS["gpu_rr"], hops)
+            points.append(
+                ParetoPoint(
+                    label=f"{model_name.upper()}-{hops}",
+                    accuracy=history.test_accuracy_at_best() or 0.0,
+                    throughput=cost.throughput_epochs_per_second,
+                    family="pp",
+                )
+            )
+        for backbone, sampler in mp_configs:
+            history, _ = train_mp(
+                backbone, sampler, prepared.dataset, num_layers=hops,
+                num_epochs=max(2, num_epochs // 3), batch_size=batch_size, seed=seed,
+            )
+            mp_profile = MPModelComputeProfile(
+                backbone, hidden_dim=256, feature_dim=info.num_features, num_classes=info.num_classes,
+                attention_heads=4 if backbone == "gat" else 1,
+            )
+            overlap = 0.6 if sampler == "labor" else 1.0
+            system = MP_SYSTEM_PRESETS["dgl-preload"]
+            cost = mp_cost.estimate(info, mp_profile, system, fanouts=default_fanouts(hops, backbone))
+            points.append(
+                ParetoPoint(
+                    label=f"{backbone.upper()}-{sampler.upper()}-{hops}",
+                    accuracy=history.test_accuracy_at_best() or 0.0,
+                    throughput=cost.throughput_epochs_per_second * overlap,
+                    family="mp",
+                )
+            )
+    frontier = pareto_frontier(points)
+    rows = [
+        {
+            "config": p.label,
+            "family": p.family,
+            "test_accuracy": p.accuracy,
+            "throughput_eps": p.throughput,
+            "on_frontier": p in frontier,
+        }
+        for p in points
+    ]
+    return {"dataset": dataset, "rows": rows, "frontier": [p.label for p in frontier]}
+
+
+def format_result(result: dict) -> str:
+    table = format_table(
+        result["rows"],
+        ["config", "family", "test_accuracy", "throughput_eps", "on_frontier"],
+        f"Figure 7/11 — accuracy-efficiency trade-off on {result['dataset']}",
+    )
+    return table + "\nPareto frontier: " + ", ".join(result["frontier"])

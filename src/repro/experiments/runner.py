@@ -1,0 +1,68 @@
+"""Run every experiment and write results to a directory.
+
+Usage::
+
+    python -m repro.experiments.runner --out results/ [--quick]
+
+``--quick`` uses reduced replica sizes and epoch counts (the same settings the
+benchmark suite uses) so the full sweep finishes in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.utils.config import save_json_config
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.runner")
+
+#: Reduced-workload overrides used with ``--quick`` (and by the benchmarks).
+QUICK_OVERRIDES = {
+    "fig2_accuracy_hops": {"hop_range": (2, 3), "num_epochs": 6, "num_nodes": 3000, "datasets": ("products", "pokec")},
+    "fig3_convergence": {"num_epochs": 8, "num_nodes": 3000, "datasets": ("products",)},
+    "fig5_breakdown": {"num_nodes": 2000, "num_epochs": 1},
+    "fig7_pareto": {"hop_range": (2,), "num_epochs": 6, "num_nodes": 3000},
+    "fig8_chunk_reshuffle": {"num_epochs": 8, "num_nodes": 3000, "chunk_sizes": (1, 128)},
+    "fig13_convergence_large": {"hops_list": (2,), "num_epochs": 8, "num_nodes": 4000},
+    "tab2_datasets": {"num_nodes": 3000},
+    "tab3_papers100m": {"hops_list": (2,), "num_epochs": 6, "num_nodes": 4000},
+    "tab4_igb_medium": {"hops_list": (2,), "num_epochs": 5, "num_nodes": 3000},
+    "tab5_igb_large": {"hops_list": (2,), "num_epochs": 5, "num_nodes": 4000},
+}
+
+
+def run_all(out_dir: Path, quick: bool = False, only: list[str] | None = None) -> dict:
+    """Run all (or selected) experiments, returning a name → result mapping."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    results = {}
+    for name, module in ALL_EXPERIMENTS.items():
+        if only and name not in only:
+            continue
+        kwargs = QUICK_OVERRIDES.get(name, {}) if quick else {}
+        logger.info("running %s %s", name, "(quick)" if quick else "")
+        start = time.perf_counter()
+        result = module.run(**kwargs)
+        elapsed = time.perf_counter() - start
+        results[name] = result
+        save_json_config(result, out_dir / f"{name}.json")
+        text = module.format_result(result)
+        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        logger.info("finished %s in %.1fs", name, elapsed)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument("--quick", action="store_true", help="use reduced workloads")
+    parser.add_argument("--only", nargs="*", default=None, help="subset of experiment names")
+    args = parser.parse_args()
+    run_all(args.out, quick=args.quick, only=args.only)
+
+
+if __name__ == "__main__":
+    main()

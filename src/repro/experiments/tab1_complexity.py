@@ -1,0 +1,38 @@
+"""Table 1 — asymptotic training memory and compute complexity comparison."""
+
+from __future__ import annotations
+
+from repro.analysis.complexity import complexity_table, evaluate_complexity
+from repro.experiments.common import format_table
+
+
+def run(
+    num_layers: int = 3,
+    batch_size: int = 8000,
+    num_nodes: int = 2_000_000,
+    feature_dim: int = 256,
+    fanout: int = 10,
+) -> dict:
+    """Evaluate every Table-1 row symbolically and for a concrete workload."""
+    symbolic = [
+        {"model": e.model, "family": e.family, "memory": e.memory, "compute": e.compute}
+        for e in complexity_table()
+    ]
+    concrete = evaluate_complexity(L=num_layers, b=batch_size, n=num_nodes, F=feature_dim, C=fanout)
+    return {
+        "params": {
+            "L": num_layers,
+            "b": batch_size,
+            "n": num_nodes,
+            "F": feature_dim,
+            "C": fanout,
+        },
+        "symbolic": symbolic,
+        "concrete": concrete,
+    }
+
+
+def format_result(result: dict) -> str:
+    sym = format_table(result["symbolic"], ["model", "family", "memory", "compute"], "Table 1 (symbolic)")
+    con = format_table(result["concrete"], ["model", "family", "memory", "compute"], "Table 1 (evaluated)")
+    return sym + "\n\n" + con

@@ -1,0 +1,104 @@
+"""Table 3 — ogbn-papers100M: accuracy and multi-GPU training throughput.
+
+Accuracy comes from training SIGN/HOGA/GraphSAGE on the papers100M replica
+(1.4 % labeled); throughput comes from the paper-scale cost models evaluated
+at 1/2/4 GPUs.  Expected shape: PP-GNNs reach at-least-comparable accuracy and
+one to two orders of magnitude higher throughput; DGL cannot run multi-GPU at
+this scale (OOM), GNNLab/SALIENT++ scale worse than the PP-GNN pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dataloading.cost_model import STRATEGY_PRESETS
+from repro.dataloading.mpgnn_systems import MPGNNCostModel, MPModelComputeProfile, MP_SYSTEM_PRESETS
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.experiments.common import (
+    QUICK_NODE_COUNTS,
+    format_table,
+    pp_profile,
+    prepare_pp_data,
+    train_mp,
+    train_pp,
+)
+from repro.hardware.presets import paper_server
+from repro.sampling.registry import default_fanouts
+from repro.training.multi_gpu import MultiGpuSimulator
+
+DATASET = "papers100m"
+
+
+def run(
+    hops_list: Sequence[int] = (2, 3),
+    num_epochs: int = 10,
+    num_nodes: Optional[int] = None,
+    batch_size: int = 512,
+    gpu_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 0,
+    train_accuracy_models: bool = True,
+) -> dict:
+    info = PAPER_DATASETS[DATASET]
+    hw = paper_server(4)
+    scaler = MultiGpuSimulator(hw)
+    mp_cost = MPGNNCostModel(hw)
+    sage_profile = MPModelComputeProfile(
+        "sage", hidden_dim=256, feature_dim=info.num_features, num_classes=info.num_classes
+    )
+    rows = []
+    for hops in hops_list:
+        accuracies = {}
+        if train_accuracy_models:
+            prepared = prepare_pp_data(DATASET, hops=hops, num_nodes=num_nodes or QUICK_NODE_COUNTS[DATASET], seed=seed)
+            for model_name in ("sign", "hoga"):
+                history, _ = train_pp(model_name, prepared, num_epochs=num_epochs, batch_size=batch_size, seed=seed)
+                accuracies[model_name] = history.test_accuracy_at_best()
+            sage_history, _ = train_mp(
+                "sage", "labor", prepared.dataset, num_layers=hops,
+                num_epochs=max(2, num_epochs // 3), batch_size=batch_size, seed=seed,
+            )
+            accuracies["sage"] = sage_history.test_accuracy_at_best()
+
+        for model_name in ("sign", "hoga"):
+            scaling = scaler.evaluate(
+                info, pp_profile(model_name, info, hops), STRATEGY_PRESETS["gpu_rr"], hops,
+                gpu_counts=tuple(gpu_counts),
+            )
+            rows.append(
+                {
+                    "hops_or_layers": hops,
+                    "model": model_name.upper(),
+                    "system": "Ours",
+                    "test_accuracy": accuracies.get(model_name),
+                    **{f"throughput_{g}gpu": scaling.throughput.get(g) for g in gpu_counts},
+                }
+            )
+        for system in ("dgl-uva", "salient++", "gnnlab"):
+            throughputs = {}
+            for g in gpu_counts:
+                try:
+                    cost = mp_cost.estimate(
+                        info, sage_profile, MP_SYSTEM_PRESETS[system],
+                        fanouts=default_fanouts(hops), batch_size=batch_size if batch_size > 1000 else 8000,
+                        active_gpus=g,
+                    )
+                    throughputs[g] = cost.throughput_epochs_per_second
+                except MemoryError:
+                    throughputs[g] = None
+            rows.append(
+                {
+                    "hops_or_layers": hops,
+                    "model": "SAGE",
+                    "system": system,
+                    "test_accuracy": accuracies.get("sage") if system == "dgl-uva" else None,
+                    **{f"throughput_{g}gpu": throughputs.get(g) for g in gpu_counts},
+                }
+            )
+    return {"rows": rows, "gpu_counts": list(gpu_counts)}
+
+
+def format_result(result: dict) -> str:
+    cols = ["hops_or_layers", "model", "system", "test_accuracy"] + [
+        f"throughput_{g}gpu" for g in result["gpu_counts"]
+    ]
+    return format_table(result["rows"], cols, "Table 3 — ogbn-papers100M (throughput in epochs/second)")

@@ -1,0 +1,53 @@
+"""Graph substrate: CSR graphs, propagation operators, generators, partitioning."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builders import (
+    add_self_loops,
+    from_dense,
+    from_edge_index,
+    from_networkx,
+    remove_self_loops,
+    symmetrize,
+    to_networkx,
+)
+from repro.graph.operators import (
+    heat_kernel_operator,
+    normalized_adjacency,
+    personalized_pagerank_operator,
+    random_walk_operator,
+    OPERATOR_REGISTRY,
+    build_operator,
+)
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    powerlaw_cluster_graph,
+    stochastic_block_model,
+)
+from repro.graph.partition import contiguous_chunks, locality_aware_partition, random_partition
+from repro.graph.metrics import degree_statistics, edge_homophily, receptive_field_size
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_index",
+    "from_dense",
+    "from_networkx",
+    "to_networkx",
+    "symmetrize",
+    "add_self_loops",
+    "remove_self_loops",
+    "normalized_adjacency",
+    "random_walk_operator",
+    "personalized_pagerank_operator",
+    "heat_kernel_operator",
+    "OPERATOR_REGISTRY",
+    "build_operator",
+    "stochastic_block_model",
+    "powerlaw_cluster_graph",
+    "erdos_renyi_graph",
+    "contiguous_chunks",
+    "locality_aware_partition",
+    "random_partition",
+    "degree_statistics",
+    "edge_homophily",
+    "receptive_field_size",
+]

@@ -1,0 +1,103 @@
+"""Constructors and transformations for :class:`~repro.graph.csr.CSRGraph`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.csr import CSRGraph
+
+
+def from_edge_index(
+    edge_index: np.ndarray,
+    num_nodes: Optional[int] = None,
+    edge_weight: Optional[np.ndarray] = None,
+    name: str = "graph",
+    coalesce: bool = True,
+) -> CSRGraph:
+    """Build a graph from a ``(2, E)`` or ``(E, 2)`` edge index.
+
+    Duplicate edges are summed into a single weighted edge when ``coalesce``
+    is True (the default), matching PyG's convention.
+    """
+    edge_index = np.asarray(edge_index, dtype=np.int64)
+    if edge_index.ndim != 2:
+        raise ValueError(f"edge_index must be 2-D, got shape {edge_index.shape}")
+    if edge_index.shape[0] != 2:
+        if edge_index.shape[1] == 2:
+            edge_index = edge_index.T
+        else:
+            raise ValueError(f"edge_index must have shape (2, E) or (E, 2), got {edge_index.shape}")
+    src, dst = edge_index[0], edge_index[1]
+    if src.size == 0:
+        n = int(num_nodes or 0)
+        return CSRGraph(indptr=np.zeros(n + 1, dtype=np.int64), indices=np.array([], dtype=np.int64), num_nodes=n, name=name)
+    inferred = int(max(src.max(), dst.max())) + 1
+    n = int(num_nodes) if num_nodes is not None else inferred
+    if inferred > n:
+        raise ValueError(f"edge index references node {inferred - 1} but num_nodes={n}")
+    weights = np.ones(src.shape[0]) if edge_weight is None else np.asarray(edge_weight, dtype=np.float64)
+    coo = sp.coo_matrix((weights, (src, dst)), shape=(n, n))
+    if coalesce:
+        coo.sum_duplicates()
+    return CSRGraph.from_scipy(coo.tocsr(), name=name)
+
+
+def from_dense(adjacency: np.ndarray, name: str = "graph") -> CSRGraph:
+    """Build a graph from a dense adjacency matrix (nonzeros become edges)."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+    return CSRGraph.from_scipy(sp.csr_matrix(adjacency), name=name)
+
+
+def from_networkx(graph, name: str = "graph") -> CSRGraph:
+    """Convert a :mod:`networkx` graph (nodes must be 0..n-1 integers)."""
+    import networkx as nx
+
+    n = graph.number_of_nodes()
+    mapping_needed = set(graph.nodes) != set(range(n))
+    if mapping_needed:
+        graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    matrix = nx.to_scipy_sparse_array(graph, nodelist=range(n), format="csr")
+    csr = CSRGraph.from_scipy(sp.csr_matrix(matrix), name=name)
+    if not graph.is_directed():
+        csr = symmetrize(csr)
+    return csr
+
+
+def to_networkx(graph: CSRGraph, directed: bool = True):
+    """Convert to a :mod:`networkx` graph (for visualisation / cross-checks)."""
+    import networkx as nx
+
+    create_using = nx.DiGraph if directed else nx.Graph
+    return nx.from_scipy_sparse_array(graph.to_scipy(), create_using=create_using)
+
+
+def symmetrize(graph: CSRGraph) -> CSRGraph:
+    """Return the undirected version: edge set union of ``A`` and ``A^T``.
+
+    Weights of coincident edges are taken as the maximum, so symmetrizing an
+    already-symmetric graph is a no-op.
+    """
+    adj = graph.to_scipy()
+    sym = adj.maximum(adj.T)
+    return CSRGraph.from_scipy(sym.tocsr(), name=graph.name)
+
+
+def add_self_loops(graph: CSRGraph, weight: float = 1.0) -> CSRGraph:
+    """Return ``A + weight * I`` (used before symmetric normalization)."""
+    adj = graph.to_scipy().tolil()
+    adj.setdiag(np.maximum(adj.diagonal(), weight))
+    return CSRGraph.from_scipy(adj.tocsr(), name=graph.name)
+
+
+def remove_self_loops(graph: CSRGraph) -> CSRGraph:
+    """Return the graph with all diagonal entries removed."""
+    adj = graph.to_scipy().tolil()
+    adj.setdiag(0.0)
+    csr = adj.tocsr()
+    csr.eliminate_zeros()
+    return CSRGraph.from_scipy(csr, name=graph.name)

@@ -1,0 +1,45 @@
+"""Simulated hardware substrate.
+
+The paper's system contributions are about *data movement*: how many kernel
+launches, how many bytes over which link, and how much of that can be hidden
+behind compute.  Since no GPU/NVMe testbed is available offline, this package
+models that arithmetic explicitly:
+
+* :mod:`~repro.hardware.spec` — device/link specifications (capacities,
+  bandwidths, latencies) with presets matching the paper's server;
+* :mod:`~repro.hardware.memory` — capacity-accounted memory devices;
+* :mod:`~repro.hardware.transfer` — analytic timing of gathers, DMA
+  transfers and storage reads;
+* :mod:`~repro.hardware.streams` — the double-buffer pipeline model that
+  overlaps data loading with compute.
+"""
+
+from repro.hardware.spec import DeviceSpec, HardwareSpec, LinkSpec
+from repro.hardware.presets import laptop, paper_server, workstation
+from repro.hardware.memory import MemoryDevice, MemoryPool, OutOfMemoryError
+from repro.hardware.transfer import TransferEngine
+from repro.hardware.streams import (
+    DoubleBufferPipeline,
+    PipelineResult,
+    pipelined_time,
+    pipelined_time_three_stage,
+    serial_time,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "HardwareSpec",
+    "paper_server",
+    "workstation",
+    "laptop",
+    "MemoryDevice",
+    "MemoryPool",
+    "OutOfMemoryError",
+    "TransferEngine",
+    "DoubleBufferPipeline",
+    "PipelineResult",
+    "pipelined_time",
+    "pipelined_time_three_stage",
+    "serial_time",
+]

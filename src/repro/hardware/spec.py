@@ -1,0 +1,115 @@
+"""Hardware specifications used by the cost models.
+
+All bandwidths are bytes/second and latencies are seconds.  The numbers for
+the paper's testbed come from Appendix C (two Xeon Gold 6248R CPUs, 380 GB
+DDR4, four RTX A6000 GPUs, two Samsung PM9A3 NVMe SSDs) and public datasheet
+figures for those parts; what matters for the reproduction is the *relative*
+magnitude of the terms (GPU HBM ≫ host DRAM ≫ PCIe ≫ NVMe random reads), not
+the exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A memory device (GPU memory, host DRAM, or SSD)."""
+
+    name: str
+    capacity_bytes: int
+    bandwidth: float  # sequential/bulk bytes per second
+    random_bandwidth: float | None = None  # effective bytes/s for single-worker scattered row reads
+    parallel_random_bandwidth: float | None = None  # scattered reads with many worker threads
+    access_latency: float = 0.0  # per-request latency (dominant for storage)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        for field_name in ("random_bandwidth", "parallel_random_bandwidth"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def effective_random_bandwidth(self) -> float:
+        return self.random_bandwidth if self.random_bandwidth is not None else self.bandwidth
+
+    @property
+    def effective_parallel_random_bandwidth(self) -> float:
+        if self.parallel_random_bandwidth is not None:
+            return self.parallel_random_bandwidth
+        return self.effective_random_bandwidth
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A data link between two devices (PCIe, NVLink, NVMe-to-GPU for GDS)."""
+
+    name: str
+    bandwidth: float  # bytes per second
+    launch_latency: float  # per-transfer (DMA kernel) launch overhead, seconds
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.launch_latency < 0:
+            raise ValueError("launch_latency must be non-negative")
+
+    def transfer_time(self, num_bytes: float, num_transfers: int = 1) -> float:
+        """Time to move ``num_bytes`` split into ``num_transfers`` DMA calls."""
+        if num_bytes < 0 or num_transfers < 0:
+            raise ValueError("num_bytes and num_transfers must be non-negative")
+        if num_bytes == 0 or num_transfers == 0:
+            return 0.0
+        return num_transfers * self.launch_latency + num_bytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """Complete machine description used by the training cost models."""
+
+    name: str
+    num_gpus: int
+    gpu_memory: DeviceSpec
+    host_memory: DeviceSpec
+    storage: DeviceSpec
+    pcie: LinkSpec  # host <-> one GPU
+    gds: LinkSpec  # storage -> GPU (GPUDirect Storage path)
+    storage_to_host: LinkSpec
+    gpu_flops: float  # sustained FP32 FLOP/s of one GPU for dense GEMM
+    cpu_flops: float  # sustained FP32 FLOP/s of the host for sparse sampling work
+    kernel_launch_latency: float  # per-CUDA-kernel launch overhead, seconds
+    host_op_latency: float  # per-host-side tensor-op dispatch overhead, seconds
+    multi_gpu_host_bandwidth_share: float = 1.0  # fraction of PCIe each extra GPU adds
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.gpu_flops <= 0 or self.cpu_flops <= 0:
+            raise ValueError("flops rates must be positive")
+
+    def gpu_total_memory(self) -> int:
+        return self.num_gpus * self.gpu_memory.capacity_bytes
+
+    def with_gpus(self, num_gpus: int) -> "HardwareSpec":
+        """Return a copy of this spec with a different GPU count."""
+        from dataclasses import replace
+
+        return replace(self, num_gpus=num_gpus)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "num_gpus": self.num_gpus,
+            "gpu_memory_gb": self.gpu_memory.capacity_bytes / GB,
+            "host_memory_gb": self.host_memory.capacity_bytes / GB,
+            "storage_tb": self.storage.capacity_bytes / GB / 1024,
+            "pcie_gbps": self.pcie.bandwidth / GB,
+            "gds_gbps": self.gds.bandwidth / GB,
+        }

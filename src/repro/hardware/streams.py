@@ -1,0 +1,120 @@
+"""Stream/pipeline model for double-buffer prefetching (Section 4.1, Figure 6c).
+
+The double-buffer scheme dedicates one GPU stream (plus a host thread) to data
+loading and another to compute.  With two buffers, loading of batch ``i+1``
+overlaps with compute of batch ``i``; the epoch time becomes the length of the
+critical path through that two-stage pipeline rather than the serial sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def serial_time(load_times: Sequence[float], compute_times: Sequence[float]) -> float:
+    """Epoch time without any overlap (the baseline loaders)."""
+    if len(load_times) != len(compute_times):
+        raise ValueError("load and compute sequences must have equal length")
+    return float(sum(load_times) + sum(compute_times))
+
+
+def pipelined_time(load_times: Sequence[float], compute_times: Sequence[float]) -> float:
+    """Exact two-stage pipeline makespan with a double buffer.
+
+    Compute of batch ``i`` can start once (a) its load finished and (b)
+    compute of batch ``i-1`` finished.  Loads are serialized on the copy
+    stream.  With only two buffers, load of batch ``i+1`` additionally waits
+    until compute of batch ``i-1`` has released its buffer.
+    """
+    if len(load_times) != len(compute_times):
+        raise ValueError("load and compute sequences must have equal length")
+    n = len(load_times)
+    if n == 0:
+        return 0.0
+    load_done = [0.0] * n
+    compute_done = [0.0] * n
+    for i in range(n):
+        load_start = load_done[i - 1] if i >= 1 else 0.0
+        if i >= 2:
+            # buffer reuse: the buffer written by load i was freed when compute i-2 finished
+            load_start = max(load_start, compute_done[i - 2])
+        load_done[i] = load_start + load_times[i]
+        compute_start = max(load_done[i], compute_done[i - 1] if i >= 1 else 0.0)
+        compute_done[i] = compute_start + compute_times[i]
+    return float(compute_done[-1])
+
+
+def pipelined_time_three_stage(
+    assembly_times: Sequence[float],
+    transfer_times: Sequence[float],
+    compute_times: Sequence[float],
+) -> float:
+    """Makespan of the assembly → transfer → compute pipeline (Figure 6c/d).
+
+    The paper's prefetching scheme uses a dedicated host thread for batch
+    assembly, a separate GPU stream for DMA transfers, and the default stream
+    for compute, so the three stages of *different* batches overlap.  Each
+    stage processes batches in order; batch ``i`` cannot enter a stage before
+    leaving the previous one.  (Buffer counts are treated as sufficient — the
+    double buffer bounds occupancy of the compute input, which this model
+    respects implicitly because transfer ``i`` waits for compute ``i-2`` only
+    in degenerate cases that do not change the asymptotic behaviour.)
+    """
+    n = len(assembly_times)
+    if not (len(transfer_times) == len(compute_times) == n):
+        raise ValueError("all three stage sequences must have equal length")
+    if n == 0:
+        return 0.0
+    a_done = [0.0] * n
+    t_done = [0.0] * n
+    c_done = [0.0] * n
+    for i in range(n):
+        a_start = a_done[i - 1] if i >= 1 else 0.0
+        a_done[i] = a_start + assembly_times[i]
+        t_start = max(a_done[i], t_done[i - 1] if i >= 1 else 0.0)
+        t_done[i] = t_start + transfer_times[i]
+        c_start = max(t_done[i], c_done[i - 1] if i >= 1 else 0.0)
+        c_done[i] = c_start + compute_times[i]
+    return float(c_done[-1])
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Makespan of an epoch under serial vs pipelined execution."""
+
+    serial_seconds: float
+    pipelined_seconds: float
+
+    @property
+    def overlap_speedup(self) -> float:
+        if self.pipelined_seconds == 0:
+            return float("inf")
+        return self.serial_seconds / self.pipelined_seconds
+
+
+class DoubleBufferPipeline:
+    """Convenience wrapper evaluating both execution models for an epoch."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def epoch_time(self, load_times: Sequence[float], compute_times: Sequence[float]) -> float:
+        if self.enabled:
+            return pipelined_time(load_times, compute_times)
+        return serial_time(load_times, compute_times)
+
+    def evaluate(self, load_times: Sequence[float], compute_times: Sequence[float]) -> PipelineResult:
+        return PipelineResult(
+            serial_seconds=serial_time(load_times, compute_times),
+            pipelined_seconds=pipelined_time(load_times, compute_times),
+        )
+
+
+def uniform_batches(per_batch_load: float, per_batch_compute: float, num_batches: int) -> PipelineResult:
+    """Pipeline result when every batch has identical load/compute cost."""
+    if num_batches < 0:
+        raise ValueError("num_batches must be non-negative")
+    loads = [per_batch_load] * num_batches
+    computes = [per_batch_compute] * num_batches
+    return DoubleBufferPipeline().evaluate(loads, computes)

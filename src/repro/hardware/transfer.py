@@ -1,0 +1,119 @@
+"""Analytic timing of data-movement operations.
+
+Every loading strategy in the paper decomposes into three primitive costs:
+
+1. **batch assembly** — gathering scattered rows into a contiguous buffer on
+   some device (host for the baseline/fused loaders, GPU for chunk
+   reshuffling);
+2. **data transfer** — moving the assembled bytes across a link (PCIe DMA for
+   host-resident data, GDS for storage-resident data);
+3. **kernel launches** — fixed per-operation overheads that dominate when an
+   implementation issues one operation per row (the PyTorch-DataLoader
+   baseline, Section 4.1).
+
+:class:`TransferEngine` turns (bytes, row counts, device/link specs) into
+seconds for each of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.spec import DeviceSpec, HardwareSpec, LinkSpec
+
+
+@dataclass(frozen=True)
+class GatherCost:
+    """Breakdown of one batch-assembly operation."""
+
+    launch_seconds: float
+    copy_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.launch_seconds + self.copy_seconds
+
+
+class TransferEngine:
+    """Computes data-movement times on a given :class:`HardwareSpec`."""
+
+    def __init__(self, hardware: HardwareSpec) -> None:
+        self.hw = hardware
+
+    # ------------------------------------------------------------------ #
+    # batch assembly (row gather)
+    # ------------------------------------------------------------------ #
+    def per_row_gather(self, device: DeviceSpec, num_rows: int, row_bytes: int, ops_per_row: int = 1) -> GatherCost:
+        """Row-at-a-time gather: one host-side tensor op per row per hop matrix.
+
+        This is the PyTorch ``DataLoader`` default the paper profiles: the
+        launch overhead term grows linearly with the batch size and dominates
+        the copy term (Figure 6a).
+        """
+        if num_rows < 0 or row_bytes < 0:
+            raise ValueError("num_rows and row_bytes must be non-negative")
+        launches = num_rows * ops_per_row * self.hw.host_op_latency
+        copy = num_rows * row_bytes / device.effective_random_bandwidth
+        return GatherCost(launch_seconds=launches, copy_seconds=copy)
+
+    def fused_gather(self, device: DeviceSpec, num_rows: int, row_bytes: int, num_matrices: int = 1) -> GatherCost:
+        """Fused index-op gather: one kernel per hop matrix per batch.
+
+        The copy term is identical to :meth:`per_row_gather` (still a random
+        gather bounded by the device's scattered-read bandwidth); only the
+        launch overhead collapses.
+        """
+        launches = num_matrices * self.hw.host_op_latency
+        copy = num_rows * row_bytes / device.effective_random_bandwidth
+        return GatherCost(launch_seconds=launches, copy_seconds=copy)
+
+    def gpu_gather(self, num_rows: int, row_bytes: int, num_matrices: int = 1) -> GatherCost:
+        """Batch assembly executed on the GPU out of already-transferred chunks."""
+        launches = num_matrices * self.hw.kernel_launch_latency
+        copy = num_rows * row_bytes / self.hw.gpu_memory.effective_random_bandwidth
+        return GatherCost(launch_seconds=launches, copy_seconds=copy)
+
+    # ------------------------------------------------------------------ #
+    # link transfers
+    # ------------------------------------------------------------------ #
+    def host_to_gpu(self, num_bytes: float, num_transfers: int = 1, active_gpus: int = 1) -> float:
+        """Pinned-memory DMA over PCIe; multiple GPUs contend for host bandwidth."""
+        effective = self._shared_link(self.hw.pcie, active_gpus)
+        return effective.transfer_time(num_bytes, num_transfers)
+
+    def storage_to_gpu(self, num_bytes: float, num_requests: int = 1) -> float:
+        """GPUDirect Storage read path (Section 4.3)."""
+        storage_seek = num_requests * self.hw.storage.access_latency
+        return storage_seek + self.hw.gds.transfer_time(num_bytes, num_requests)
+
+    def storage_to_host(self, num_bytes: float, num_requests: int = 1, random: bool = False) -> float:
+        """Classic read() path into host memory."""
+        bandwidth_limited = num_bytes / (
+            self.hw.storage.effective_random_bandwidth if random else self.hw.storage.bandwidth
+        )
+        seek = num_requests * self.hw.storage.access_latency
+        launch = num_requests * self.hw.storage_to_host.launch_latency
+        return seek + launch + bandwidth_limited
+
+    def _shared_link(self, link: LinkSpec, active_gpus: int) -> LinkSpec:
+        if active_gpus <= 1:
+            return link
+        # Each extra GPU adds only a fraction of a full link due to root-complex
+        # contention; aggregate bandwidth is then divided back per GPU.
+        aggregate = link.bandwidth * (1 + (active_gpus - 1) * self.hw.multi_gpu_host_bandwidth_share)
+        return LinkSpec(link.name, aggregate / active_gpus, link.launch_latency)
+
+    # ------------------------------------------------------------------ #
+    # compute
+    # ------------------------------------------------------------------ #
+    def gpu_compute_time(self, flops: float, num_kernels: int = 1) -> float:
+        """Dense-model compute time: FLOPs at sustained GEMM throughput + launches."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return num_kernels * self.hw.kernel_launch_latency + flops / self.hw.gpu_flops
+
+    def cpu_compute_time(self, flops: float) -> float:
+        """Host-side compute (e.g. CPU graph sampling in vanilla DGL)."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.hw.cpu_flops

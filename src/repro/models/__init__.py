@@ -1,0 +1,22 @@
+"""GNN models: PP-GNNs (SGC, SIGN, HOGA) and MP-GNN baselines (GraphSAGE, GAT)."""
+
+from repro.models.base import MPGNNModel, PPGNNModel
+from repro.models.sgc import SGC
+from repro.models.sign import SIGN
+from repro.models.hoga import HOGA
+from repro.models.sage import GraphSAGE
+from repro.models.gat import GAT
+from repro.models.registry import MODEL_REGISTRY, build_pp_model, build_mp_model
+
+__all__ = [
+    "PPGNNModel",
+    "MPGNNModel",
+    "SGC",
+    "SIGN",
+    "HOGA",
+    "GraphSAGE",
+    "GAT",
+    "MODEL_REGISTRY",
+    "build_pp_model",
+    "build_mp_model",
+]

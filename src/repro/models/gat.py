@@ -1,0 +1,142 @@
+"""Graph Attention Network (Veličković et al., ICLR 2018) over sampled blocks.
+
+Attention coefficients are computed per sampled edge with the standard
+``LeakyReLU(a_src . W h_src + a_dst . W h_dst)`` scoring, normalized with a
+softmax over each destination node's incoming edges, and used to weight the
+neighbor aggregation.  Multi-head outputs are concatenated on hidden layers
+and averaged on the output layer, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.models.base import MPGNNModel
+from repro.sampling.base import MiniBatch, SampledBlock
+from repro.tensor.module import Dropout, Linear, Module
+from repro.tensor.parameter import Parameter
+from repro.tensor.sparse import scatter_sum, segment_softmax
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+from repro.tensor import init
+
+
+class GATConv(Module):
+    """Single-head graph attention layer over a sampled block."""
+
+    def __init__(self, in_features: int, out_features: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+        self.linear = Linear(in_features, out_features, bias=False, seed=rng)
+        self.attn_src = Parameter(init.xavier_uniform((1, out_features), rng), name="attn_src")
+        self.attn_dst = Parameter(init.xavier_uniform((1, out_features), rng), name="attn_dst")
+        self.bias = Parameter(np.zeros(out_features), name="bias")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, block: SampledBlock, h_src: Tensor) -> Tensor:
+        dst_local, src_local, _ = block.edge_list()
+        z_src = self.linear(h_src)  # (num_src, F')
+        z_dst = z_src[np.arange(block.num_dst)]
+
+        # Per-node attention logits, then gathered per edge.
+        alpha_src = (z_src * self.attn_src).sum(axis=-1)  # (num_src,)
+        alpha_dst = (z_dst * self.attn_dst).sum(axis=-1)  # (num_dst,)
+        edge_scores = alpha_src.take_rows(src_local) + alpha_dst.take_rows(dst_local)
+        edge_scores = edge_scores.leaky_relu(0.2)
+        attention = segment_softmax(edge_scores, dst_local, block.num_dst)  # (E,)
+
+        messages = z_src.take_rows(src_local) * attention.reshape(-1, 1)
+        aggregated = scatter_sum(messages, dst_local, block.num_dst)
+        return aggregated + self.bias
+
+
+class MultiHeadGATConv(Module):
+    """Multi-head wrapper: concatenate (hidden) or average (output) heads."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_heads: int,
+        concat: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if num_heads < 1:
+            raise ValueError("num_heads must be >= 1")
+        rng = new_rng(seed)
+        self.heads: List[GATConv] = []
+        for idx in range(num_heads):
+            head = GATConv(in_features, out_features, seed=rng)
+            setattr(self, f"head_{idx}", head)
+            self.heads.append(head)
+        self.concat = concat
+        self.num_heads = num_heads
+        self.out_features = out_features
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_features * self.num_heads if self.concat else self.out_features
+
+    def forward(self, block: SampledBlock, h_src: Tensor) -> Tensor:
+        outputs = [head(block, h_src) for head in self.heads]
+        if self.concat:
+            return Tensor.concatenate(outputs, axis=-1)
+        stacked = Tensor.stack(outputs, axis=0)
+        return stacked.mean(axis=0)
+
+
+class GAT(MPGNNModel):
+    """Multi-layer, multi-head GAT for sampled mini-batch training."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int,
+        num_heads: int = 4,
+        dropout: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = new_rng(seed)
+        self.num_layers = num_layers
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.num_classes = num_classes
+        self.layers: List[MultiHeadGATConv] = []
+        current_dim = in_features
+        for layer in range(num_layers):
+            is_last = layer == num_layers - 1
+            conv = MultiHeadGATConv(
+                current_dim,
+                num_classes if is_last else hidden_dim,
+                num_heads=1 if is_last else num_heads,
+                concat=not is_last,
+                seed=rng,
+            )
+            setattr(self, f"conv_{layer}", conv)
+            self.layers.append(conv)
+            current_dim = conv.output_dim
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, batch: MiniBatch, input_features: np.ndarray | Tensor) -> Tensor:
+        if len(batch.blocks) != self.num_layers:
+            raise ValueError(
+                f"batch has {len(batch.blocks)} blocks but the model has {self.num_layers} layers"
+            )
+        h = self._as_tensor(input_features)
+        for idx, (block, conv) in enumerate(zip(batch.blocks, self.layers)):
+            h = conv(block, h)
+            if idx < self.num_layers - 1:
+                h = h.gelu()
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return self._slice_outputs(h, batch)

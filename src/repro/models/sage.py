@@ -1,0 +1,89 @@
+"""GraphSAGE (Hamilton et al., NeurIPS 2017) over sampled blocks.
+
+Each layer computes ``h_v = sigma(W_self h_v + W_neigh mean_{u in N(v)} h_u)``
+where the mean is taken over the sampled (importance-weighted) neighbors
+encoded in the block's row-normalized adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.models.base import MPGNNModel
+from repro.sampling.base import MiniBatch
+from repro.tensor.module import Dropout, Linear, Module
+from repro.tensor.sparse import sparse_matmul
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class SAGEConv(Module):
+    """A single GraphSAGE layer with the mean aggregator."""
+
+    def __init__(self, in_features: int, out_features: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+        self.self_linear = Linear(in_features, out_features, seed=rng)
+        self.neigh_linear = Linear(in_features, out_features, bias=False, seed=rng)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, block, h_src: Tensor) -> Tensor:
+        h_dst = h_src[np.arange(block.num_dst)]
+        aggregated = sparse_matmul(block.adjacency, h_src)
+        return self.self_linear(h_dst) + self.neigh_linear(aggregated)
+
+
+class GraphSAGE(MPGNNModel):
+    """Multi-layer GraphSAGE for sampled mini-batch training."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_layers: int,
+        dropout: float = 0.5,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = new_rng(seed)
+        self.num_layers = num_layers
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.num_classes = num_classes
+        self.layers: List[SAGEConv] = []
+        for layer in range(num_layers):
+            fin = in_features if layer == 0 else hidden_dim
+            fout = num_classes if layer == num_layers - 1 else hidden_dim
+            conv = SAGEConv(fin, fout, seed=rng)
+            setattr(self, f"conv_{layer}", conv)
+            self.layers.append(conv)
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, batch: MiniBatch, input_features: np.ndarray | Tensor) -> Tensor:
+        if len(batch.blocks) != self.num_layers:
+            raise ValueError(
+                f"batch has {len(batch.blocks)} blocks but the model has {self.num_layers} layers"
+            )
+        h = self._as_tensor(input_features)
+        if h.shape[0] != batch.blocks[0].num_src:
+            raise ValueError(
+                f"input features rows ({h.shape[0]}) must match the outermost block's "
+                f"src nodes ({batch.blocks[0].num_src})"
+            )
+        for idx, (block, conv) in enumerate(zip(batch.blocks, self.layers)):
+            h = conv(block, h)
+            if idx < self.num_layers - 1:
+                h = h.relu()
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return self._slice_outputs(h, batch)
+
+    def flops_per_layer(self, num_dst: int, num_src: int) -> int:
+        """Dense-transform FLOPs of one layer (feature propagation excluded)."""
+        return int(2 * (num_dst + num_src) * self.in_features * self.hidden_dim)

@@ -1,0 +1,78 @@
+"""SIGN — Scalable Inception Graph Neural Networks (Frasca et al., 2020).
+
+Each hop (and each operator) gets its own linear projection ("inception
+branch"); the projected hop embeddings are concatenated and fed to an MLP
+head.  This matches Eq. (3): ``l(.)`` concatenates per-hop transforms, ``o(.)``
+is an MLP.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.models.base import PPGNNModel
+from repro.tensor.module import Dropout, Linear, MLP, PReLU
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class SIGN(PPGNNModel):
+    """Inception-style PP-GNN with per-hop linear branches and an MLP head."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_hops: int,
+        num_kernels: int = 1,
+        mlp_layers: int = 3,
+        dropout: float = 0.3,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if num_hops < 0:
+            raise ValueError("num_hops must be non-negative")
+        if mlp_layers < 1:
+            raise ValueError("mlp_layers must be >= 1")
+        rng = new_rng(seed)
+        self.num_hops = num_hops
+        self.num_kernels = num_kernels
+        self.in_features = in_features
+        self.hidden_dim = hidden_dim
+        self.num_classes = num_classes
+
+        self.branches: List[Linear] = []
+        for idx in range(self.num_inputs):
+            branch = Linear(in_features, hidden_dim, seed=rng)
+            setattr(self, f"branch_{idx}", branch)
+            self.branches.append(branch)
+        self.activation = PReLU()
+        self.input_dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+        head_hidden = [hidden_dim] * max(mlp_layers - 1, 0)
+        self.head = MLP(
+            in_features=hidden_dim * self.num_inputs,
+            hidden_dims=head_hidden,
+            out_features=num_classes,
+            dropout=dropout,
+            activation="relu",
+            seed=rng,
+        )
+
+    def forward(self, hop_feats: Sequence[np.ndarray | Tensor]) -> Tensor:
+        tensors = self.check_inputs(hop_feats)
+        projected = []
+        for branch, x in zip(self.branches, tensors):
+            if self.input_dropout is not None:
+                x = self.input_dropout(x)
+            projected.append(self.activation(branch(x)))
+        combined = Tensor.concatenate(projected, axis=-1)
+        return self.head(combined)
+
+    def flops_per_node(self) -> int:
+        branch_flops = 2 * self.in_features * self.hidden_dim * self.num_inputs
+        head_in = self.hidden_dim * self.num_inputs
+        head_flops = 2 * head_in * self.hidden_dim + 2 * self.hidden_dim * self.num_classes
+        return int(branch_flops + head_flops)

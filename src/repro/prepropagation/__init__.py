@@ -1,0 +1,14 @@
+"""Pre-propagation: hop-wise feature propagation, storage and pipelines."""
+
+from repro.prepropagation.propagator import PropagationConfig, propagate_features
+from repro.prepropagation.store import FeatureStore, HopFeatures
+from repro.prepropagation.pipeline import PreprocessingPipeline, PreprocessingResult
+
+__all__ = [
+    "PropagationConfig",
+    "propagate_features",
+    "FeatureStore",
+    "HopFeatures",
+    "PreprocessingPipeline",
+    "PreprocessingResult",
+]

@@ -1,0 +1,195 @@
+"""Feature stores for pre-propagated (hop-wise) node features.
+
+After preprocessing, PP-GNN training only needs the rows of the labeled nodes
+(Section 6.4) but across ``K (R + 1)`` matrices — the input-expansion problem.
+The store abstracts where those matrices live:
+
+* :class:`HopFeatures` — the logical container (kernel-major, hop-major list
+  of row-aligned matrices restricted to the labeled nodes);
+* :class:`FeatureStore` — an optionally file-backed store that splits hops
+  into separate ``.npy`` files (as the paper does to enable parallel storage
+  reads for GDS) and memory-maps them on access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("prepropagation.store")
+
+
+@dataclass
+class HopFeatures:
+    """Row-aligned hop-wise features for a fixed node set.
+
+    ``matrices[k][r]`` is the ``(num_rows, F)`` array of hop-``r`` features
+    under kernel ``k``; row ``i`` of every matrix refers to ``node_ids[i]``.
+    """
+
+    node_ids: np.ndarray
+    matrices: List[List[np.ndarray]]
+
+    def __post_init__(self) -> None:
+        self.node_ids = np.asarray(self.node_ids, dtype=np.int64)
+        if not self.matrices or not self.matrices[0]:
+            raise ValueError("matrices must contain at least one kernel with one hop")
+        rows = self.node_ids.shape[0]
+        dims = {m.shape for kernel in self.matrices for m in kernel}
+        if len({shape[1] for shape in dims}) != 1:
+            raise ValueError("all hop matrices must share the feature dimension")
+        for kernel in self.matrices:
+            for matrix in kernel:
+                if matrix.shape[0] != rows:
+                    raise ValueError("hop matrices must align with node_ids")
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.node_ids.shape[0])
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.matrices)
+
+    @property
+    def num_hops(self) -> int:
+        """Number of propagation hops R (hop 0 is the raw features)."""
+        return len(self.matrices[0]) - 1
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.matrices[0][0].shape[1])
+
+    def nbytes(self) -> int:
+        return int(sum(m.nbytes for kernel in self.matrices for m in kernel))
+
+    def hop_list(self) -> List[np.ndarray]:
+        """Flatten to a list ordered kernel-major then hop (K*(R+1) items)."""
+        return [m for kernel in self.matrices for m in kernel]
+
+    def gather(self, row_indices: np.ndarray) -> List[np.ndarray]:
+        """Gather the given rows from every hop matrix (the batch-assembly op)."""
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        return [m[row_indices] for m in self.hop_list()]
+
+    def restrict(self, row_indices: np.ndarray) -> "HopFeatures":
+        """Return a new HopFeatures containing only ``row_indices`` rows."""
+        row_indices = np.asarray(row_indices, dtype=np.int64)
+        return HopFeatures(
+            node_ids=self.node_ids[row_indices],
+            matrices=[[m[row_indices] for m in kernel] for kernel in self.matrices],
+        )
+
+    @staticmethod
+    def from_full_matrices(
+        full_matrices: Sequence[Sequence[np.ndarray]], node_ids: np.ndarray
+    ) -> "HopFeatures":
+        """Slice full-graph propagation output down to the labeled ``node_ids``."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        return HopFeatures(
+            node_ids=node_ids,
+            matrices=[[np.asarray(m)[node_ids] for m in kernel] for kernel in full_matrices],
+        )
+
+
+class FeatureStore:
+    """Hop-major feature storage, in memory or backed by per-hop ``.npy`` files.
+
+    File-backed mode mirrors the paper's storage layout for GDS training
+    ("we split input features of different hops into separate files, enabling
+    parallel storage access requests", Section 4.3); loading uses NumPy
+    memory-mapping so only the touched rows are read from disk.
+    """
+
+    def __init__(self, hop_features: HopFeatures, root: Optional[Path] = None) -> None:
+        self._features = hop_features
+        self.root = Path(root) if root is not None else None
+        self._file_paths: list[Path] = []
+        if self.root is not None:
+            self._persist()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def node_ids(self) -> np.ndarray:
+        return self._features.node_ids
+
+    @property
+    def num_rows(self) -> int:
+        return self._features.num_rows
+
+    @property
+    def num_matrices(self) -> int:
+        return len(self._features.hop_list())
+
+    @property
+    def feature_dim(self) -> int:
+        return self._features.feature_dim
+
+    @property
+    def is_file_backed(self) -> bool:
+        return self.root is not None
+
+    def nbytes(self) -> int:
+        return self._features.nbytes()
+
+    def file_paths(self) -> list[Path]:
+        return list(self._file_paths)
+
+    # ------------------------------------------------------------------ #
+    def _persist(self) -> None:
+        assert self.root is not None
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._file_paths = []
+        for idx, matrix in enumerate(self._features.hop_list()):
+            path = self.root / f"hop_{idx:02d}.npy"
+            np.save(path, matrix)
+            self._file_paths.append(path)
+        np.save(self.root / "node_ids.npy", self._features.node_ids)
+        logger.info("persisted %d hop files to %s", len(self._file_paths), self.root)
+
+    def matrices(self, memmap: bool = False) -> List[np.ndarray]:
+        """Return the flat list of hop matrices.
+
+        ``memmap=True`` (only valid for file-backed stores) returns read-only
+        memory-mapped arrays, modelling storage-resident data.
+        """
+        if memmap:
+            if not self.is_file_backed:
+                raise RuntimeError("memmap access requires a file-backed store")
+            return [np.load(path, mmap_mode="r") for path in self._file_paths]
+        return self._features.hop_list()
+
+    def gather(self, row_indices: np.ndarray, memmap: bool = False) -> List[np.ndarray]:
+        """Fetch the given rows from every hop matrix."""
+        if memmap:
+            return [np.asarray(m[np.asarray(row_indices)]) for m in self.matrices(memmap=True)]
+        return self._features.gather(row_indices)
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[tuple[np.ndarray, List[np.ndarray]]]:
+        """Iterate (row_indices, hop matrices) over contiguous row chunks."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        for start in range(0, self.num_rows, chunk_size):
+            rows = np.arange(start, min(start + chunk_size, self.num_rows))
+            yield rows, self.gather(rows)
+
+    @staticmethod
+    def load(root: Path) -> "FeatureStore":
+        """Re-open a store persisted by a previous run."""
+        root = Path(root)
+        node_ids = np.load(root / "node_ids.npy")
+        hop_paths = sorted(root.glob("hop_*.npy"))
+        if not hop_paths:
+            raise FileNotFoundError(f"no hop files found under {root}")
+        matrices = [np.load(p) for p in hop_paths]
+        features = HopFeatures(node_ids=node_ids, matrices=[matrices])
+        store = FeatureStore.__new__(FeatureStore)
+        store._features = features
+        store.root = root
+        store._file_paths = hop_paths
+        return store

@@ -1,0 +1,62 @@
+"""Node-wise neighbor sampling (GraphSAGE, Hamilton et al. 2017)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.sampling.base import MiniBatch, Sampler, block_from_edges
+
+
+class NeighborSampler(Sampler):
+    """Sample up to ``fanouts[l]`` neighbors per node at layer ``l``.
+
+    Blocks are built from the innermost layer (seeds) outwards, then returned
+    in outermost-first order, matching how the model consumes them.  The
+    number of distinct input nodes grows roughly as ``prod(fanouts)`` — the
+    neighbor-explosion behaviour characterized in Table 1.
+    """
+
+    def __init__(self, fanouts: Sequence[int], replace: bool = False) -> None:
+        fanouts = list(int(f) for f in fanouts)
+        if not fanouts or any(f <= 0 for f in fanouts):
+            raise ValueError(f"fanouts must be positive integers, got {fanouts}")
+        self.fanouts = fanouts
+        self.replace = replace
+        self.num_layers = len(fanouts)
+
+    def _sample_layer(
+        self,
+        graph: CSRGraph,
+        frontier: np.ndarray,
+        fanout: int,
+        rng: np.random.Generator,
+    ) -> list[np.ndarray]:
+        sampled: list[np.ndarray] = []
+        starts, stops = graph.neighbor_slices(frontier)
+        for start, stop in zip(starts, stops):
+            neighbors = graph.indices[start:stop]
+            if neighbors.size == 0:
+                sampled.append(neighbors)
+                continue
+            if self.replace or neighbors.size > fanout:
+                take = rng.choice(neighbors, size=min(fanout, neighbors.size), replace=self.replace)
+                sampled.append(np.unique(take) if not self.replace else take)
+            else:
+                sampled.append(neighbors.copy())
+        return sampled
+
+    def sample(self, graph: CSRGraph, seeds: np.ndarray, rng: np.random.Generator) -> MiniBatch:
+        seeds = np.asarray(seeds, dtype=np.int64)
+        blocks = []
+        frontier = seeds
+        # innermost (last layer, closest to the output) uses fanouts[-1]
+        for fanout in reversed(self.fanouts):
+            per_seed = self._sample_layer(graph, frontier, fanout, rng)
+            block = block_from_edges(frontier, per_seed)
+            blocks.append(block)
+            frontier = block.src_nodes
+        blocks.reverse()
+        return MiniBatch(input_nodes=blocks[0].src_nodes, output_nodes=seeds, blocks=blocks)

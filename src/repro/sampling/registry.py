@@ -1,0 +1,68 @@
+"""Sampler registry mirroring the names used in the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.sampling.base import Sampler
+from repro.sampling.graphsaint import GraphSaintNodeSampler
+from repro.sampling.labor import LaborSampler
+from repro.sampling.ladies import LadiesSampler
+from repro.sampling.neighbor import NeighborSampler
+
+# The paper's 3-layer fanout defaults (Appendix A): [15, 10, 5] for GraphSAGE
+# and [10, 10, 10] for GAT, extended with 3s / 5s for deeper models.
+SAGE_FANOUTS = {
+    2: [15, 10],
+    3: [15, 10, 5],
+    4: [15, 10, 5, 3],
+    5: [15, 10, 5, 3, 3],
+    6: [15, 10, 5, 3, 3, 3],
+}
+GAT_FANOUTS = {
+    2: [10, 10],
+    3: [10, 10, 10],
+    4: [10, 10, 10, 5],
+    5: [10, 10, 10, 5, 5],
+    6: [10, 10, 10, 5, 5, 5],
+}
+
+
+def default_fanouts(num_layers: int, backbone: str = "sage") -> list[int]:
+    """Per-paper fanout schedule for ``num_layers`` and the given backbone."""
+    table = SAGE_FANOUTS if backbone.lower() == "sage" else GAT_FANOUTS
+    if num_layers not in table:
+        raise ValueError(f"no fanout preset for {num_layers} layers (have {sorted(table)})")
+    return list(table[num_layers])
+
+
+def _make_neighbor(num_layers: int, backbone: str = "sage", **_) -> Sampler:
+    return NeighborSampler(default_fanouts(num_layers, backbone))
+
+
+def _make_labor(num_layers: int, backbone: str = "sage", **_) -> Sampler:
+    return LaborSampler(default_fanouts(num_layers, backbone))
+
+
+def _make_ladies(num_layers: int, nodes_per_layer: int = 512, **_) -> Sampler:
+    return LadiesSampler(num_layers=num_layers, nodes_per_layer=nodes_per_layer)
+
+
+def _make_saint(num_layers: int, budget: int = 8000, **_) -> Sampler:
+    return GraphSaintNodeSampler(budget=budget, num_layers=num_layers)
+
+
+SAMPLER_REGISTRY: Dict[str, Callable[..., Sampler]] = {
+    "neighbor": _make_neighbor,
+    "labor": _make_labor,
+    "ladies": _make_ladies,
+    "saint": _make_saint,
+}
+
+
+def build_sampler(name: str, num_layers: int, **kwargs) -> Sampler:
+    """Build a sampler by its paper name (``neighbor``/``labor``/``ladies``/``saint``)."""
+    key = name.lower()
+    if key not in SAMPLER_REGISTRY:
+        raise KeyError(f"unknown sampler {name!r}; available: {sorted(SAMPLER_REGISTRY)}")
+    return SAMPLER_REGISTRY[key](num_layers=num_layers, **kwargs)

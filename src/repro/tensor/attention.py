@@ -1,0 +1,120 @@
+"""Multi-head attention over hop tokens.
+
+HOGA (Deng et al., 2024) treats the ``R + 1`` hop-wise feature vectors of a
+node as tokens and applies a transformer-style attention layer across them.
+The sequence length is therefore tiny (hops + 1), so a direct dense
+implementation is appropriate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.module import Dropout, Linear, Module
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention.
+
+    Input shape: ``(batch, tokens, embed_dim)``; output has the same shape.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(f"embed_dim={embed_dim} must be divisible by num_heads={num_heads}")
+        rng = new_rng(seed)
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, seed=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, seed=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, seed=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, seed=rng)
+        self.attn_dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def _split_heads(self, x: Tensor, batch: int, tokens: int) -> Tensor:
+        # (B, T, E) -> (B, H, T, D)
+        return x.reshape(batch, tokens, self.num_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def forward(self, x: Tensor, return_weights: bool = False):
+        if x.ndim != 3:
+            raise ValueError(f"expected (batch, tokens, embed_dim) input, got shape {x.shape}")
+        batch, tokens, embed = x.shape
+        if embed != self.embed_dim:
+            raise ValueError(f"embedding dim mismatch: {embed} vs {self.embed_dim}")
+
+        q = self._split_heads(self.q_proj(x), batch, tokens)
+        k = self._split_heads(self.k_proj(x), batch, tokens)
+        v = self._split_heads(self.v_proj(x), batch, tokens)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose((0, 1, 3, 2))) * scale  # (B, H, T, T)
+        weights = scores.softmax(axis=-1)
+        if self.attn_dropout is not None:
+            weights = self.attn_dropout(weights)
+        context = weights.matmul(v)  # (B, H, T, D)
+        context = context.transpose((0, 2, 1, 3)).reshape(batch, tokens, self.embed_dim)
+        out = self.out_proj(context)
+        if return_weights:
+            return out, weights
+        return out
+
+
+class HopAttentionBlock(Module):
+    """A single pre-norm transformer block specialised for hop tokens.
+
+    This is the building block HOGA stacks (the paper uses one block): a
+    multi-head attention sub-layer followed by a position-wise feed-forward
+    sub-layer, each wrapped with residual connections and layer norm.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        ffn_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        from repro.tensor.module import GELU, LayerNorm, Sequential  # local import avoids cycle at doc build
+
+        rng = new_rng(seed)
+        ffn_dim = ffn_dim or 2 * embed_dim
+        self.attn = MultiHeadAttention(embed_dim, num_heads, dropout=dropout, seed=rng)
+        self.norm1 = LayerNorm(embed_dim)
+        self.norm2 = LayerNorm(embed_dim)
+        self.ffn = Sequential(
+            Linear(embed_dim, ffn_dim, seed=rng),
+            GELU(),
+            Dropout(dropout, seed=rng) if dropout > 0 else _Noop(),
+            Linear(ffn_dim, embed_dim, seed=rng),
+        )
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        attn_out = self.attn(self.norm1(x))
+        if self.dropout is not None:
+            attn_out = self.dropout(attn_out)
+        x = x + attn_out
+        ffn_out = self.ffn(self.norm2(x))
+        if self.dropout is not None:
+            ffn_out = self.dropout(ffn_out)
+        return x + ffn_out
+
+
+class _Noop(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x

@@ -1,0 +1,136 @@
+"""Stateless functional ops over :class:`~repro.tensor.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, is_grad_enabled
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU (used by the GAT attention scores)."""
+    return x.leaky_relu(negative_slope)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation)."""
+    return x.gelu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (same convention as torch.nn.Linear)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def layer_norm(
+    x: Tensor,
+    weight: Optional[Tensor] = None,
+    bias: Optional[Tensor] = None,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalized = (x - mu) * ((var + eps) ** -0.5)
+    if weight is not None:
+        normalized = normalized * weight
+    if bias is not None:
+        normalized = normalized + bias
+    return normalized
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    return Tensor.concatenate(list(tensors), axis=axis)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    return Tensor.stack(list(tensors), axis=axis)
+
+
+def embedding_rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows from ``table`` (differentiable w.r.t. the table)."""
+    return table.take_rows(indices)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer ``labels`` as a float array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for the given num_classes")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def grad_check(fn, inputs: list[Tensor], eps: float = 1e-6, atol: float = 1e-4) -> bool:
+    """Finite-difference gradient verification used by the test-suite.
+
+    ``fn`` maps the list of input tensors to a scalar Tensor.  Returns True if
+    analytic and numerical gradients agree within ``atol`` everywhere.
+    """
+    if not is_grad_enabled():
+        raise RuntimeError("grad_check requires gradients to be enabled")
+    for t in inputs:
+        t.zero_grad()
+    out = fn(inputs)
+    out.backward()
+    for tensor in inputs:
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = np.zeros_like(tensor.data)
+        flat = tensor.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = fn(inputs).item()
+            flat[i] = original - eps
+            minus = fn(inputs).item()
+            flat[i] = original
+            numeric_flat[i] = (plus - minus) / (2 * eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=1e-3):
+            return False
+    return True

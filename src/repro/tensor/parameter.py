@@ -1,0 +1,24 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import ArrayLike, Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered by :class:`~repro.tensor.module.Module`.
+
+    Parameters always require gradients; modules collect them via
+    :meth:`Module.parameters` for the optimizers.
+    """
+
+    def __init__(self, data: ArrayLike, name: str | None = None) -> None:
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+        # Parameters must stay differentiable even when constructed inside a
+        # ``no_grad`` block (e.g. lazily-built modules during evaluation).
+        self.requires_grad = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(shape={self.shape}, name={self.name!r})"

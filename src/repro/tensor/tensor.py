@@ -1,0 +1,567 @@
+"""Reverse-mode autodiff :class:`Tensor` built on NumPy arrays.
+
+Design notes
+------------
+* Each differentiable op records a backward closure on its output node; a
+  topological sweep in :meth:`Tensor.backward` accumulates gradients.
+* Broadcasting is supported by un-broadcasting gradients back to the operand
+  shape (summing over broadcast axes).
+* Gradient tracking can be disabled globally with :func:`no_grad`, used by the
+  evaluation loops so inference allocates no graph.
+* Only float arrays participate in differentiation; integer tensors (labels,
+  index arrays) are carried as plain NumPy arrays by callers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (for evaluation)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new ops will be recorded for differentiation."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over axes that were broadcast to reach its shape."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode gradient support."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100.0  # NumPy defers binary ops to Tensor
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if requires_grad and not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        if np.issubdtype(arr.dtype, np.floating) and arr.dtype != np.float64:
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if isinstance(p, Tensor))
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1.0 for scalar outputs (the common loss case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order over the graph reachable from ``self``.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce(other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix multiplication with gradient support (2D or batched 3D)."""
+        other = self._coerce(other)
+        out_data = self.data @ other.data
+        a, b = self, other
+
+        def backward(grad: np.ndarray) -> None:
+            if a.requires_grad:
+                if b.data.ndim >= 2:
+                    ga = grad @ np.swapaxes(b.data, -1, -2)
+                else:
+                    ga = np.outer(grad, b.data)
+                a._accumulate(ga)
+            if b.requires_grad:
+                if a.data.ndim >= 2:
+                    gb = np.swapaxes(a.data, -1, -2) @ grad
+                else:
+                    gb = np.outer(a.data, grad)
+                b._accumulate(gb)
+
+        return Tensor._make(out_data, (a, b), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, negative_slope * self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """GELU with the tanh approximation (matches common DL frameworks)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dinner = c * (1.0 + 3 * 0.044715 * x**2)
+                dt = (1.0 - t**2) * dinner
+                local = 0.5 * (1.0 + t) + 0.5 * x * dt
+                self._accumulate(grad * local)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is None:
+                g = np.broadcast_to(g, self.data.shape)
+            else:
+                if not keepdims:
+                    g = np.expand_dims(g, axis=axis)
+                g = np.broadcast_to(g, self.data.shape)
+            self._accumulate(g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            if axis is None:
+                mask = self.data == out_data
+                g = grad * mask / mask.sum()
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data, axis)
+                mask = self.data == expanded
+                gexp = grad if keepdims else np.expand_dims(grad, axis)
+                # distribute ties evenly so gradients stay well-defined
+                g = gexp * mask / np.maximum(mask.sum(axis=axis, keepdims=True), 1)
+            self._accumulate(g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, axes: Sequence[int] | None = None) -> "Tensor":
+        out_data = np.transpose(self.data, axes)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.transpose(grad, inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row gather (``self[indices]``) — the batch-assembly primitive."""
+        indices = np.asarray(indices)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, indices, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # factories and combination ops
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def concatenate(tensors: Iterable["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            slabs = np.split(grad, len(tensors), axis=axis)
+            for tensor, slab in zip(tensors, slabs):
+                if tensor.requires_grad:
+                    tensor._accumulate(np.squeeze(slab, axis=axis))
+
+        return Tensor._make(out_data, tuple(tensors), backward)
+
+    # ------------------------------------------------------------------ #
+    # softmax-family (implemented here so they stay numerically stable)
+    # ------------------------------------------------------------------ #
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                dot = (grad * out_data).sum(axis=axis, keepdims=True)
+                self._accumulate(out_data * (grad - dot))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - logsumexp
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return Tensor._make(out_data, (self,), backward)

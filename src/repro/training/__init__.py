@@ -1,0 +1,18 @@
+"""Training loops, convergence metrics, time breakdowns and multi-GPU scaling."""
+
+from repro.training.metrics import EpochRecord, TrainingHistory, convergence_point
+from repro.training.loop import PPGNNTrainer, MPGNNTrainer, TrainerConfig
+from repro.training.breakdown import measure_pp_breakdown
+from repro.training.multi_gpu import MultiGpuSimulator, ScalingResult
+
+__all__ = [
+    "EpochRecord",
+    "TrainingHistory",
+    "convergence_point",
+    "TrainerConfig",
+    "PPGNNTrainer",
+    "MPGNNTrainer",
+    "measure_pp_breakdown",
+    "MultiGpuSimulator",
+    "ScalingResult",
+]

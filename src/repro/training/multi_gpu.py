@@ -1,0 +1,75 @@
+"""Simulated multi-GPU data-parallel scaling (Tables 3 and 4).
+
+The paper's multi-GPU experiments shard the pre-propagated input across GPUs
+(or replicate the sampled-training input pipeline) and run synchronous
+data-parallel SGD.  Scaling is limited by (a) the shared host↔GPU link when
+the input lives in host memory or storage and (b) the gradient all-reduce.
+This module reuses the single-GPU cost models and adds those two effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.dataloading.cost_model import EpochCost, LoaderStrategy, ModelComputeProfile, PPGNNCostModel
+from repro.datasets.catalog import PaperDatasetInfo
+from repro.hardware.spec import HardwareSpec
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Throughput (epochs/second) for each evaluated GPU count."""
+
+    strategy: str
+    throughput: Dict[int, float]
+
+    def speedup(self, baseline_gpus: int = 1) -> Dict[int, float]:
+        base = self.throughput.get(baseline_gpus)
+        if not base:
+            raise ValueError(f"no baseline throughput for {baseline_gpus} GPU(s)")
+        return {k: v / base for k, v in self.throughput.items()}
+
+    def scaling_efficiency(self) -> Dict[int, float]:
+        """Speedup divided by the ideal (linear) speedup."""
+        speedups = self.speedup()
+        return {k: v / k for k, v in speedups.items()}
+
+
+class MultiGpuSimulator:
+    """Evaluates PP-GNN training throughput across GPU counts."""
+
+    def __init__(self, hardware: HardwareSpec, allreduce_bytes_per_param: float = 4.0) -> None:
+        self.hw = hardware
+        self.allreduce_bytes_per_param = allreduce_bytes_per_param
+
+    def _allreduce_seconds(self, num_parameters: int, num_gpus: int) -> float:
+        """Ring all-reduce over PCIe peer links: 2 (n-1)/n of the payload per GPU."""
+        if num_gpus <= 1:
+            return 0.0
+        payload = num_parameters * self.allreduce_bytes_per_param
+        traffic = 2.0 * (num_gpus - 1) / num_gpus * payload
+        return self.hw.pcie.transfer_time(traffic, num_transfers=2 * (num_gpus - 1))
+
+    def evaluate(
+        self,
+        info: PaperDatasetInfo,
+        profile: ModelComputeProfile,
+        strategy: LoaderStrategy,
+        hops: int,
+        gpu_counts: Sequence[int] = (1, 2, 4),
+        batch_size: int = 8000,
+    ) -> ScalingResult:
+        """Throughput at each GPU count, including all-reduce and link sharing."""
+        model = PPGNNCostModel(self.hw)
+        throughput: Dict[int, float] = {}
+        for count in gpu_counts:
+            if count > self.hw.num_gpus:
+                continue
+            cost: EpochCost = model.estimate(
+                info, profile, strategy, hops, batch_size=batch_size, active_gpus=count
+            )
+            allreduce = self._allreduce_seconds(profile.num_parameters, count) * cost.num_batches
+            epoch_seconds = cost.epoch_seconds + allreduce
+            throughput[count] = 1.0 / epoch_seconds if epoch_seconds > 0 else float("inf")
+        return ScalingResult(strategy=strategy.name, throughput=throughput)

@@ -1,0 +1,59 @@
+"""JSON configuration helpers.
+
+The paper's artifact drives experiments with a ``model_cfg.json``; this module
+provides the equivalent plumbing (load, validate required keys, save) for the
+reproduction's experiment runner and the automated configuration system.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration file is missing or malformed."""
+
+
+def load_json_config(path: str | Path, required: Iterable[str] = ()) -> dict[str, Any]:
+    """Load a JSON config file and verify the ``required`` top-level keys."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"config file does not exist: {path}")
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"top-level JSON value must be an object in {path}")
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ConfigError(f"config {path} missing required keys: {missing}")
+    return data
+
+
+def _jsonable(obj: Any) -> Any:
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return asdict(obj)
+    if isinstance(obj, Mapping):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if hasattr(obj, "item") and callable(obj.item) and getattr(obj, "ndim", 1) == 0:
+        return obj.item()
+    if hasattr(obj, "tolist") and callable(obj.tolist):
+        return obj.tolist()
+    return obj
+
+
+def save_json_config(data: Any, path: str | Path) -> Path:
+    """Serialize ``data`` (dict / dataclass / numpy scalars) to JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(_jsonable(data), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

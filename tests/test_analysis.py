@@ -1,0 +1,169 @@
+"""Tests for the analytical reproductions: Table 1, Appendix I, Table 7, Pareto."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    AmortizationAnalysis,
+    DataTransferAnalysis,
+    ParetoPoint,
+    complexity_table,
+    evaluate_complexity,
+    pareto_frontier,
+)
+from repro.analysis.amortization import TABLE7_EPOCHS
+from repro.analysis.complexity import COMPLEXITY_TABLE
+from repro.analysis.pareto import frontier_labels
+from repro.datasets.catalog import PAPER_DATASETS
+
+
+class TestComplexityTable:
+    def test_contains_all_seven_rows(self):
+        models = {e.model for e in complexity_table()}
+        assert models == {"GraphSAGE", "LABOR", "LADIES", "GraphSAINT", "SGC", "SIGN", "HOGA"}
+
+    def test_pp_compute_independent_of_fanout(self):
+        """PP-GNN training cost must not depend on the sampled neighborhood size C."""
+        small_c = evaluate_complexity(C=5)
+        large_c = evaluate_complexity(C=20)
+        for a, b in zip(small_c, large_c):
+            if a["family"] == "pp":
+                assert a["compute"] == b["compute"]
+
+    def test_mp_compute_explodes_with_fanout(self):
+        small_c = {r["model"]: r for r in evaluate_complexity(C=5)}
+        large_c = {r["model"]: r for r in evaluate_complexity(C=20)}
+        assert large_c["GraphSAGE"]["compute"] > 10 * small_c["GraphSAGE"]["compute"]
+
+    def test_pp_memory_independent_of_graph_size(self):
+        """PP-GNN training memory depends on the batch, not on n (Table 1)."""
+        small_n = {r["model"]: r for r in evaluate_complexity(n=10_000)}
+        large_n = {r["model"]: r for r in evaluate_complexity(n=10_000_000)}
+        for name in ("SGC", "SIGN", "HOGA"):
+            assert small_n[name]["memory"] == large_n[name]["memory"]
+
+    def test_sage_memory_grows_exponentially_with_layers(self):
+        shallow = {r["model"]: r for r in evaluate_complexity(L=2)}
+        deep = {r["model"]: r for r in evaluate_complexity(L=4)}
+        ratio_sage = deep["GraphSAGE"]["memory"] / shallow["GraphSAGE"]["memory"]
+        ratio_sign = deep["SIGN"]["memory"] / shallow["SIGN"]["memory"]
+        assert ratio_sage > 10 * ratio_sign
+
+    def test_sgc_is_cheapest(self):
+        rows = {r["model"]: r for r in evaluate_complexity()}
+        assert rows["SGC"]["compute"] <= min(r["compute"] for r in rows.values())
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            evaluate_complexity(L=0)
+
+    def test_entry_evaluate_keys(self):
+        entry = COMPLEXITY_TABLE["sign"]
+        out = entry.evaluate(L=2, b=10, n=100, F=8, C=5, r=2)
+        assert set(out) == {"model", "memory", "compute"}
+
+
+class TestDataTransfer:
+    def test_pp_volume_much_smaller_than_mp(self):
+        """Appendix I: PP-GNNs move 1-2 orders of magnitude less data."""
+        analysis = DataTransferAnalysis(batch_size=8000)
+        for key in ("products", "papers100m", "igb-large"):
+            volumes = analysis.compare(PAPER_DATASETS[key], hops=3, fanouts=[15, 10, 5])
+            assert volumes.mp_over_pp > 8.0
+
+    def test_pp_volume_formula(self):
+        analysis = DataTransferAnalysis(batch_size=8000)
+        info = PAPER_DATASETS["products"]
+        expected = info.train_nodes * info.num_features * 4 * 4  # hops=3 -> 4 matrices
+        assert analysis.pp_epoch_bytes(info, hops=3) == pytest.approx(expected)
+
+    def test_mp_volume_grows_with_fanouts(self):
+        analysis = DataTransferAnalysis(batch_size=8000)
+        info = PAPER_DATASETS["products"]
+        assert analysis.mp_epoch_bytes(info, [15, 10, 5]) > analysis.mp_epoch_bytes(info, [5, 5])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataTransferAnalysis(batch_size=0)
+
+
+class TestAmortization:
+    def test_epochs_table_covers_all_datasets(self):
+        assert set(TABLE7_EPOCHS) == set(PAPER_DATASETS)
+
+    def test_fraction_matches_paper_order_of_magnitude(self):
+        """With the paper's own epoch times, the reproduced fractions match Table 7."""
+        analysis = AmortizationAnalysis()
+        paper_epoch_times = {
+            "products": 0.49, "pokec": 2.65, "wiki": 2.89,
+            "igb-medium": 36.31, "papers100m": 2.81, "igb-large": 539.5,
+        }
+        for key, epoch_s in paper_epoch_times.items():
+            row = analysis.row_from_paper(key, epoch_s)
+            assert row.fraction_of_single_run == pytest.approx(
+                PAPER_DATASETS[key].preprocess_fraction_of_run, rel=0.15
+            )
+
+    def test_amortization_over_sweep(self):
+        row = AmortizationAnalysis().row_from_paper("products", 0.49)
+        assert row.fraction_of_sweep(10) == pytest.approx(row.fraction_of_single_run / 10)
+        with pytest.raises(ValueError):
+            row.fraction_of_sweep(0)
+
+    def test_row_from_measurement_scale_invariance(self):
+        analysis = AmortizationAnalysis()
+        info = PAPER_DATASETS["products"]
+        a = analysis.row_from_measurement(info, "products", 1.0, 0.01, scale_factor=1.0)
+        b = analysis.row_from_measurement(info, "products", 1.0, 0.01, scale_factor=100.0)
+        assert a.fraction_of_single_run == pytest.approx(b.fraction_of_single_run)
+
+    def test_row_from_measurement_validation(self):
+        with pytest.raises(ValueError):
+            AmortizationAnalysis().row_from_measurement(PAPER_DATASETS["products"], "products", -1.0, 1.0)
+
+
+class TestPareto:
+    def test_dominated_point_excluded(self):
+        points = [
+            ParetoPoint("good", accuracy=0.8, throughput=10),
+            ParetoPoint("dominated", accuracy=0.7, throughput=5),
+            ParetoPoint("fast-but-weak", accuracy=0.5, throughput=50),
+        ]
+        labels = frontier_labels(points)
+        assert labels == {"good", "fast-but-weak"}
+
+    def test_all_points_on_frontier_when_tradeoff(self):
+        points = [ParetoPoint(f"p{i}", accuracy=0.5 + 0.1 * i, throughput=10 - i) for i in range(4)]
+        assert len(pareto_frontier(points)) == 4
+
+    def test_duplicate_points_kept(self):
+        points = [ParetoPoint("a", 0.5, 1.0), ParetoPoint("b", 0.5, 1.0)]
+        assert len(pareto_frontier(points)) == 2
+
+    def test_frontier_sorted_by_throughput(self):
+        points = [ParetoPoint("slow", 0.9, 1), ParetoPoint("fast", 0.5, 10)]
+        frontier = pareto_frontier(points)
+        assert frontier[0].label == "fast"
+
+    def test_dominates_semantics(self):
+        a = ParetoPoint("a", 0.8, 10)
+        b = ParetoPoint("b", 0.8, 5)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    accs=st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=12),
+    thrs=st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=12),
+)
+def test_property_frontier_points_are_mutually_nondominated(accs, thrs):
+    """No frontier point may dominate another frontier point."""
+    n = min(len(accs), len(thrs))
+    points = [ParetoPoint(f"p{i}", accs[i], thrs[i]) for i in range(n)]
+    frontier = pareto_frontier(points)
+    assert frontier, "frontier can never be empty for non-empty input"
+    for p in frontier:
+        assert not any(q.dominates(p) for q in frontier if q is not p)

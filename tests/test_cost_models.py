@@ -1,0 +1,247 @@
+"""Tests for the PP-GNN and MP-GNN cost models (paper-scale efficiency results)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataloading import (
+    LoaderStrategy,
+    ModelComputeProfile,
+    MPGNNCostModel,
+    MP_SYSTEM_PRESETS,
+    NeighborExplosionEstimator,
+    PPGNNCostModel,
+    STRATEGY_PRESETS,
+)
+from repro.dataloading.mpgnn_systems import MPModelComputeProfile
+from repro.datasets.catalog import PAPER_DATASETS
+from repro.hardware import paper_server
+from repro.models import build_pp_model
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return PPGNNCostModel(paper_server(4))
+
+
+@pytest.fixture(scope="module")
+def mp_cost_model():
+    return MPGNNCostModel(paper_server(4))
+
+
+@pytest.fixture(scope="module")
+def sign_profile():
+    model = build_pp_model("sign", in_features=100, num_classes=47, num_hops=3, seed=0)
+    return ModelComputeProfile.from_model(model, name="sign")
+
+
+@pytest.fixture(scope="module")
+def sgc_profile():
+    model = build_pp_model("sgc", in_features=100, num_classes=47, num_hops=3, seed=0)
+    return ModelComputeProfile.from_model(model, name="sgc")
+
+
+class TestLoaderStrategy:
+    def test_invalid_placement(self):
+        with pytest.raises(ValueError):
+            LoaderStrategy("x", placement="tape")
+
+    def test_storage_requires_cr(self):
+        with pytest.raises(ValueError):
+            LoaderStrategy("x", placement="storage", method="rr")
+
+    def test_gpu_assembly_requires_cr(self):
+        with pytest.raises(ValueError):
+            LoaderStrategy("x", assembly="gpu", method="rr")
+
+    def test_presets_cover_figures(self):
+        assert {"baseline", "efficient_assembly", "double_buffer", "chunk_reshuffle"} <= set(STRATEGY_PRESETS)
+        assert {"gpu_rr", "host_cr", "host_rr", "ssd_cr"} <= set(STRATEGY_PRESETS)
+
+
+class TestPPGNNCostModel:
+    def test_ablation_ordering_fig9(self, cost_model, sign_profile):
+        """Each added optimization must not slow training down (Figure 9)."""
+        info = PAPER_DATASETS["products"]
+        ablation = cost_model.ablation(info, sign_profile, hops=3)
+        t = [ablation[k].epoch_seconds for k in ("baseline", "efficient_assembly", "double_buffer", "chunk_reshuffle")]
+        assert t[0] > t[1] >= t[2] >= t[3]
+
+    def test_total_ablation_speedup_order_of_magnitude(self, cost_model, sgc_profile, sign_profile):
+        """Total optimization speedup is ~an order of magnitude (paper: 15x average)."""
+        info = PAPER_DATASETS["products"]
+        speedups = []
+        for profile in (sgc_profile, sign_profile):
+            ablation = cost_model.ablation(info, profile, hops=3)
+            speedups.append(ablation["baseline"].epoch_seconds / ablation["chunk_reshuffle"].epoch_seconds)
+        assert np.exp(np.mean(np.log(speedups))) > 5.0
+
+    def test_placement_ordering_fig14(self, cost_model, sgc_profile):
+        """GPU <= host-CR <= host-RR and SSD-CR <= host-RR for light models."""
+        info = PAPER_DATASETS["wiki"]
+        study = cost_model.placement_study(info, sgc_profile, hops=4)
+        assert study["gpu_rr"].epoch_seconds <= study["host_cr"].epoch_seconds * 1.05
+        assert study["host_cr"].epoch_seconds < study["host_rr"].epoch_seconds
+        assert study["ssd_cr"].epoch_seconds <= study["host_rr"].epoch_seconds * 1.1
+
+    def test_baseline_dominated_by_data_loading_fig5(self, cost_model, sign_profile):
+        info = PAPER_DATASETS["products"]
+        cost = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["baseline"], hops=3)
+        assert cost.breakdown_fractions()["data_loading"] > 0.5
+
+    def test_optimized_no_longer_loading_bound(self, cost_model, sign_profile):
+        info = PAPER_DATASETS["products"]
+        cost = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=3)
+        assert cost.breakdown_fractions()["data_loading"] < 0.5
+
+    def test_epoch_time_grows_with_hops(self, cost_model, sign_profile):
+        info = PAPER_DATASETS["products"]
+        t3 = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["host_rr"], hops=3).epoch_seconds
+        t6 = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["host_rr"], hops=6).epoch_seconds
+        assert t6 > t3
+
+    def test_sublinear_growth_with_hops_when_on_gpu(self, cost_model, sign_profile):
+        """PP-GNN epoch time grows sub-linearly in hops in the optimized pipeline."""
+        info = PAPER_DATASETS["products"]
+        t2 = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=2).epoch_seconds
+        t6 = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=6).epoch_seconds
+        assert t6 / t2 < 3.0
+
+    def test_multi_gpu_throughput_increases(self, cost_model, sign_profile):
+        info = PAPER_DATASETS["papers100m"]
+        throughput = cost_model.multi_gpu_throughput(
+            info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=3, gpu_counts=(1, 2, 4)
+        )
+        assert throughput[4] > throughput[2] > throughput[1]
+
+    def test_more_flops_means_slower(self, cost_model, sign_profile, sgc_profile):
+        info = PAPER_DATASETS["products"]
+        sign_t = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=3).epoch_seconds
+        sgc_t = cost_model.estimate(info, sgc_profile, STRATEGY_PRESETS["gpu_rr"], hops=3).epoch_seconds
+        assert sign_t > sgc_t
+
+    def test_invalid_args(self, cost_model, sign_profile):
+        info = PAPER_DATASETS["products"]
+        with pytest.raises(ValueError):
+            cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=-1)
+        with pytest.raises(ValueError):
+            cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=2, batch_size=0)
+        with pytest.raises(ValueError):
+            PPGNNCostModel(paper_server(1), per_batch_overhead=-1)
+
+
+class TestNeighborExplosion:
+    def test_frontier_growth_and_saturation(self):
+        est = NeighborExplosionEstimator(num_nodes=1_000_000, avg_degree=20)
+        sizes = est.frontier_sizes(batch_size=1000, fanouts=[15, 10, 5])
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+        assert sizes[-1] <= 1_000_000
+
+    def test_overlap_factor_shrinks_frontier(self):
+        est = NeighborExplosionEstimator(num_nodes=1_000_000, avg_degree=20)
+        full = est.frontier_sizes(1000, [15, 10, 5], overlap_factor=1.0)
+        labor = est.frontier_sizes(1000, [15, 10, 5], overlap_factor=0.6)
+        assert labor[-1] < full[-1]
+
+    def test_deeper_sampling_explodes(self):
+        est = NeighborExplosionEstimator(num_nodes=100_000_000, avg_degree=15)
+        two = est.batch_statistics(8000, [15, 10])["input_nodes"]
+        three = est.batch_statistics(8000, [15, 10, 5])["input_nodes"]
+        assert three > 3 * two
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            NeighborExplosionEstimator(0, 10)
+        est = NeighborExplosionEstimator(100, 10)
+        with pytest.raises(ValueError):
+            est.frontier_sizes(0, [5])
+        with pytest.raises(ValueError):
+            est.frontier_sizes(10, [5], overlap_factor=0.0)
+
+
+class TestMPGNNCostModel:
+    def _sage(self, info):
+        return MPModelComputeProfile("sage", hidden_dim=256, feature_dim=info.num_features, num_classes=info.num_classes)
+
+    def test_dgl_variants_ordering_fig4(self, mp_cost_model):
+        """Preload < UVA < Vanilla epoch time (Figure 4's optimization ladder)."""
+        info = PAPER_DATASETS["products"]
+        sage = self._sage(info)
+        vanilla = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-vanilla"], [15, 10, 5]).epoch_seconds
+        uva = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-uva"], [15, 10, 5]).epoch_seconds
+        preload = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-preload"], [15, 10, 5]).epoch_seconds
+        assert preload < uva < vanilla
+
+    def test_vanilla_pp_slower_than_optimized_mp(self, mp_cost_model, cost_model, sign_profile):
+        """Figure 4's headline: unoptimized PP-GNNs lose to DGL-Preload GraphSAGE."""
+        info = PAPER_DATASETS["products"]
+        sage = self._sage(info)
+        preload = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-preload"], [15, 10, 5]).epoch_seconds
+        pp_vanilla = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["baseline"], hops=3).epoch_seconds
+        assert pp_vanilla > preload
+
+    def test_optimized_pp_beats_all_mp_systems_on_large_graph(self, mp_cost_model, cost_model, sign_profile):
+        """Tables 3-5 shape: optimized PP-GNN throughput >> every MP-GNN system."""
+        info = PAPER_DATASETS["papers100m"]
+        sage = self._sage(info)
+        pp = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["gpu_rr"], hops=3).throughput_epochs_per_second
+        for system in ("dgl-uva", "salient++", "gnnlab"):
+            mp = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS[system], [15, 10, 5]).throughput_epochs_per_second
+            assert pp > 3 * mp
+
+    def test_storage_regime_speedup_igb_large(self, mp_cost_model, cost_model, sign_profile):
+        """Table 5 shape: GDS-based PP-GNN is >10x faster than storage MP-GNN systems."""
+        info = PAPER_DATASETS["igb-large"]
+        sage = self._sage(info)
+        pp = cost_model.estimate(info, sign_profile, STRATEGY_PRESETS["ssd_cr"], hops=3).throughput_epochs_per_second
+        for system in ("ginex", "dgl-mmap"):
+            mp = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS[system], [15, 10, 5]).throughput_epochs_per_second
+            assert pp > 10 * mp
+
+    def test_epoch_time_grows_with_layers(self, mp_cost_model):
+        info = PAPER_DATASETS["products"]
+        sage = self._sage(info)
+        shallow = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-uva"], [15, 10]).epoch_seconds
+        deep = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-uva"], [15, 10, 5, 3]).epoch_seconds
+        assert deep > shallow
+
+    def test_single_gpu_only_systems_raise_on_multi_gpu(self, mp_cost_model):
+        info = PAPER_DATASETS["papers100m"]
+        sage = self._sage(info)
+        with pytest.raises(MemoryError):
+            mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-uva"], [15, 10, 5], active_gpus=2)
+
+    def test_oom_layer_limit_respected(self, mp_cost_model):
+        from repro.dataloading.mpgnn_systems import MPGNNSystemConfig
+
+        info = PAPER_DATASETS["products"]
+        sage = self._sage(info)
+        limited = MPGNNSystemConfig(name="limited", sampling_device="gpu", feature_location="gpu", oom_layers=2)
+        with pytest.raises(MemoryError):
+            mp_cost_model.estimate(info, sage, limited, [15, 10, 5])
+
+    def test_gat_more_expensive_than_sage(self, mp_cost_model):
+        info = PAPER_DATASETS["products"]
+        sage = self._sage(info)
+        gat = MPModelComputeProfile("gat", hidden_dim=128, feature_dim=info.num_features, num_classes=info.num_classes, attention_heads=4)
+        sage_t = mp_cost_model.estimate(info, sage, MP_SYSTEM_PRESETS["dgl-preload"], [10, 10, 10]).epoch_seconds
+        gat_t = mp_cost_model.estimate(info, gat, MP_SYSTEM_PRESETS["dgl-preload"], [10, 10, 10]).epoch_seconds
+        assert gat_t > sage_t
+
+
+@settings(max_examples=15, deadline=None)
+@given(hops=st.integers(min_value=0, max_value=6), batch=st.integers(min_value=100, max_value=20000))
+def test_property_epoch_cost_positive_and_finite(hops, batch, sign_profile_factory):
+    """Any valid configuration yields a positive, finite epoch time."""
+    model, profile = sign_profile_factory
+    info = PAPER_DATASETS["pokec"]
+    cost = model.estimate(info, profile, STRATEGY_PRESETS["host_rr"], hops=hops, batch_size=batch)
+    assert np.isfinite(cost.epoch_seconds)
+    assert cost.epoch_seconds > 0
+
+
+@pytest.fixture(scope="module")
+def sign_profile_factory():
+    model = PPGNNCostModel(paper_server(1))
+    pp = build_pp_model("sign", in_features=65, num_classes=2, num_hops=3, seed=0)
+    return model, ModelComputeProfile.from_model(pp, name="sign")

@@ -1,0 +1,164 @@
+"""Smoke + shape tests for the experiment drivers (reduced workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    appendix_i_transfer,
+    fig4_epoch_time,
+    fig9_ablation,
+    fig14_placement,
+    tab1_complexity,
+    tab2_datasets,
+    tab7_preprocessing,
+)
+from repro.experiments.common import (
+    QUICK_NODE_COUNTS,
+    format_table,
+    geometric_mean,
+    pp_profile,
+    prepare_pp_data,
+    train_pp,
+)
+from repro.datasets.catalog import PAPER_DATASETS
+
+
+class TestCommonHelpers:
+    def test_quick_node_counts_cover_all_datasets(self):
+        assert set(QUICK_NODE_COUNTS) == set(PAPER_DATASETS)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert np.isnan(geometric_mean([]))
+
+    def test_format_table_renders_all_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": None}], ["a", "b"], title="T")
+        assert "T" in text and "2.5" in text and text.count("\n") >= 3
+
+    def test_prepare_and_train_quick(self):
+        prepared = prepare_pp_data("pokec", hops=2, num_nodes=1000, seed=1)
+        history, trainer = train_pp("sgc", prepared, num_epochs=2, batch_size=256, seed=1)
+        assert len(history) == 2
+        assert 0.0 <= history.peak_valid_accuracy() <= 1.0
+
+    def test_pp_profile_uses_paper_dimensions(self):
+        profile = pp_profile("sign", PAPER_DATASETS["wiki"], hops=3)
+        assert profile.flops_per_node > pp_profile("sign", PAPER_DATASETS["products"], hops=3).flops_per_node
+
+
+class TestAnalyticExperiments:
+    def test_registry_has_all_sixteen_artifacts(self):
+        assert len(ALL_EXPERIMENTS) == 16
+
+    def test_tab1(self):
+        result = tab1_complexity.run()
+        assert len(result["symbolic"]) == 7
+        assert "Table 1" in tab1_complexity.format_result(result)
+
+    def test_fig4_vanilla_pp_slower_than_best_mp(self):
+        result = fig4_epoch_time.run(datasets=("products",), hops=3)
+        rows = {r["method"]: r["epoch_seconds"] for r in result["rows"]}
+        assert rows["SIGN-vanilla"] > rows["SAGE-dgl-preload"]
+        assert rows["SAGE-dgl-vanilla"] > rows["SAGE-dgl-preload"]
+
+    def test_fig9_speedups_match_paper_shape(self):
+        result = fig9_ablation.run(datasets=("products", "wiki"), models=("sign", "sgc"), hop_range=(3, 4))
+        sp = result["summary_speedups"]
+        assert sp["efficient_assembly"] > 1.5
+        assert sp["double_buffer"] >= 1.0
+        assert sp["chunk_reshuffle"] > 1.0
+        assert sp["total"] > 5.0
+
+    def test_fig14_placement_ordering(self):
+        result = fig14_placement.run(datasets=("products",), models=("sgc", "sign"), hop_range=(3, 4))
+        summary = result["summary"]
+        assert summary["gpu_rr"] == pytest.approx(1.0)
+        assert summary["host_cr"] < summary["host_rr"]
+        assert summary["ssd_cr"] <= summary["host_rr"] * 1.1
+
+    def test_tab7_fractions_below_one(self):
+        result = tab7_preprocessing.run()
+        for row in result["rows"]:
+            # Preprocessing should stay in the order of a single training run
+            # (papers100M is the paper's worst case at 90 %).
+            assert row["fraction_of_run"] < 2.0
+            assert row[f"fraction_of_{result['num_tuning_runs']}_runs"] < row["fraction_of_run"]
+        below_one = sum(row["fraction_of_run"] < 1.0 for row in result["rows"])
+        assert below_one >= len(result["rows"]) - 1
+
+    def test_appendix_i_ratio_large(self):
+        result = appendix_i_transfer.run()
+        assert all(row["mp_over_pp"] > 5 for row in result["rows"])
+
+    def test_tab2_extrapolation_positive(self):
+        result = tab2_datasets.run(datasets=("pokec",), num_nodes=1000, hops=2)
+        row = result["rows"][0]
+        assert row["replica_preprocess_s"] > 0
+        assert row["extrapolated_preprocess_s"] > row["replica_preprocess_s"]
+
+
+class TestTrainingExperiments:
+    """Training-backed drivers run at very small scale (a handful of epochs)."""
+
+    def test_fig2_quick(self):
+        from repro.experiments import fig2_accuracy_hops
+
+        result = fig2_accuracy_hops.run(
+            datasets=("pokec",), hop_range=(2,), num_epochs=3, num_nodes=1000, include_mp=False
+        )
+        assert result["rows"][0]["model"] == "HOGA"
+        assert 0.0 <= result["rows"][0]["test_accuracy"] <= 1.0
+
+    def test_fig3_quick(self):
+        from repro.experiments import fig3_convergence
+
+        result = fig3_convergence.run(
+            datasets=("pokec",), hops=2, num_epochs=4, num_nodes=1000,
+            pp_models=("sgc",), mp_models=(),
+        )
+        row = result["rows"][0]
+        assert row["convergence_epoch"] is not None
+        assert len(row["valid_curve"]) == 4
+
+    def test_fig5_quick_breakdown(self):
+        from repro.experiments import fig5_breakdown
+
+        result = fig5_breakdown.run(dataset="pokec", hops=2, models=("sgc",), num_nodes=1000, num_epochs=1)
+        row = result["rows"][0]
+        assert row["modeled_data_loading"] > 0.5
+        assert 0.0 <= row["measured_data_loading"] <= 1.0
+
+    def test_fig8_quick_chunk_accuracy_gap_small(self):
+        from repro.experiments import fig8_chunk_reshuffle
+
+        result = fig8_chunk_reshuffle.run(
+            dataset="pokec", model="sgc", hops=2, chunk_sizes=(1, 128), num_epochs=6,
+            num_nodes=1200, batch_size=128,
+        )
+        drop = result["rows"][-1]["accuracy_drop_vs_rr"]
+        assert abs(drop) < 0.15
+
+    def test_tab5_quick(self):
+        from repro.experiments import tab5_igb_large
+
+        result = tab5_igb_large.run(hops_list=(2,), num_epochs=2, num_nodes=2000, train_accuracy_models=False)
+        ours = [r for r in result["rows"] if r["system"] == "Ours (GDS)"]
+        mp = [r for r in result["rows"] if r["system"] != "Ours (GDS)"]
+        assert min(r["epoch_per_hour"] for r in ours) > max(r["epoch_per_hour"] for r in mp)
+
+    def test_tab3_quick_throughput_shape(self):
+        from repro.experiments import tab3_papers100m
+
+        result = tab3_papers100m.run(hops_list=(2,), train_accuracy_models=False, gpu_counts=(1, 4))
+        sign = next(r for r in result["rows"] if r["model"] == "SIGN")
+        sage = next(r for r in result["rows"] if r["system"] == "dgl-uva")
+        assert sign["throughput_1gpu"] > sage["throughput_1gpu"]
+        assert sign["throughput_4gpu"] > sign["throughput_1gpu"]
+
+    def test_tab4_quick_cr_beats_rr(self):
+        from repro.experiments import tab4_igb_medium
+
+        result = tab4_igb_medium.run(hops_list=(2,), train_accuracy_models=False, gpu_counts=(1,))
+        rows = {(r["model"], r["system"]): r for r in result["rows"]}
+        assert rows[("SIGN", "Ours-CR")]["epm_1gpu"] > rows[("SIGN", "Ours-RR")]["epm_1gpu"]

@@ -1,0 +1,233 @@
+"""Tests for the PP-GNN and MP-GNN model implementations."""
+
+import numpy as np
+import pytest
+
+from repro.models import GAT, GraphSAGE, HOGA, SGC, SIGN, build_mp_model, build_pp_model
+from repro.models.registry import MP_MODELS, PP_MODELS, is_pp_model
+from repro.sampling import LaborSampler, NeighborSampler
+from repro.tensor import Adam, Tensor, cross_entropy, no_grad
+from repro.tensor.losses import accuracy
+from repro.utils.rng import new_rng
+
+
+def _hop_batch(batch=16, dim=10, hops=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((batch, dim)).astype(np.float32) for _ in range(hops + 1)]
+
+
+class TestSGC:
+    def test_forward_shape(self):
+        model = SGC(10, 4, num_hops=3, seed=0)
+        out = model(_hop_batch(dim=10, hops=3))
+        assert out.shape == (16, 4)
+
+    def test_uses_only_last_hop(self):
+        model = SGC(10, 4, num_hops=2, seed=0)
+        model.eval()
+        batch = _hop_batch(dim=10, hops=2)
+        out1 = model(batch).data
+        batch_changed = [np.zeros_like(batch[0]), np.zeros_like(batch[1]), batch[2]]
+        out2 = model(batch_changed).data
+        assert np.allclose(out1, out2)
+
+    def test_wrong_input_count_raises(self):
+        model = SGC(10, 4, num_hops=3, seed=0)
+        with pytest.raises(ValueError):
+            model(_hop_batch(hops=2))
+
+    def test_param_count_linear(self):
+        model = SGC(10, 4, num_hops=1, seed=0)
+        assert model.num_parameters() == 10 * 4 + 4
+
+    def test_flops_positive(self):
+        assert SGC(10, 4, num_hops=1, seed=0).flops_per_node() > 0
+
+
+class TestSIGN:
+    def test_forward_shape(self):
+        model = SIGN(10, 16, 4, num_hops=3, seed=0)
+        assert model(_hop_batch(dim=10, hops=3)).shape == (16, 4)
+
+    def test_uses_all_hops(self):
+        model = SIGN(8, 16, 3, num_hops=2, dropout=0.0, seed=0)
+        model.eval()
+        batch = _hop_batch(dim=8, hops=2, seed=1)
+        out1 = model(batch).data
+        modified = [batch[0] * 0.0, batch[1], batch[2]]
+        out2 = model(modified).data
+        assert not np.allclose(out1, out2)
+
+    def test_batch_size_mismatch_rejected(self):
+        model = SIGN(8, 16, 3, num_hops=1, seed=0)
+        bad = [np.zeros((4, 8), dtype=np.float32), np.zeros((5, 8), dtype=np.float32)]
+        with pytest.raises(ValueError):
+            model(bad)
+
+    def test_multi_kernel_input_count(self):
+        model = SIGN(8, 16, 3, num_hops=2, num_kernels=2, seed=0)
+        assert model.num_inputs == 6
+
+    def test_larger_than_sgc(self):
+        sgc = SGC(16, 5, num_hops=3, seed=0)
+        sign = SIGN(16, 32, 5, num_hops=3, seed=0)
+        assert sign.num_parameters() > sgc.num_parameters()
+
+
+class TestHOGA:
+    def test_forward_shape(self):
+        model = HOGA(10, 16, 4, num_hops=3, num_heads=2, seed=0)
+        assert model(_hop_batch(dim=10, hops=3)).shape == (16, 4)
+
+    def test_hop_attention_weights_are_distribution(self):
+        model = HOGA(10, 16, 4, num_hops=3, num_heads=2, dropout=0.0, seed=0)
+        model.eval()
+        weights = model.hop_attention_weights(_hop_batch(dim=10, hops=3))
+        assert weights.shape == (16, 4)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_gradients_reach_all_parameters(self):
+        model = HOGA(6, 8, 3, num_hops=2, dropout=0.0, seed=0)
+        loss = cross_entropy(model(_hop_batch(dim=6, hops=2, batch=8)), np.zeros(8, dtype=np.int64))
+        loss.backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert all(grads)
+
+    def test_more_expressive_than_sign_in_params_per_hidden(self):
+        hoga = HOGA(16, 32, 5, num_hops=3, seed=0)
+        assert hoga.flops_per_node() > SGC(16, 5, num_hops=3, seed=0).flops_per_node()
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ValueError):
+            HOGA(8, 8, 2, num_hops=2, num_blocks=0)
+
+
+class TestPPModelsLearn:
+    @pytest.mark.parametrize("name", ["sgc", "sign", "hoga"])
+    def test_training_reduces_loss(self, name, prepared_store, small_dataset):
+        store = prepared_store.store
+        labels = small_dataset.labels[store.node_ids]
+        rows = np.arange(min(400, store.num_rows))
+        feats = store.gather(rows)
+        model = build_pp_model(name, small_dataset.num_features, small_dataset.num_classes, num_hops=2, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        first_loss = None
+        for step in range(15):
+            opt.zero_grad()
+            loss = cross_entropy(model(feats), labels[rows])
+            loss.backward()
+            opt.step()
+            if step == 0:
+                first_loss = loss.item()
+        assert loss.item() < first_loss
+
+    def test_sign_and_hoga_beat_sgc_on_replica(self, prepared_store, small_dataset):
+        """Using all hops (SIGN/HOGA) should beat the last-hop-only linear SGC."""
+        store = prepared_store.store
+        labels = small_dataset.labels[store.node_ids]
+        rows = np.arange(min(600, store.num_rows))
+        feats = store.gather(rows)
+        scores = {}
+        for name in ("sgc", "sign"):
+            model = build_pp_model(name, small_dataset.num_features, small_dataset.num_classes, num_hops=2, seed=0)
+            opt = Adam(model.parameters(), lr=0.02)
+            for _ in range(40):
+                opt.zero_grad()
+                loss = cross_entropy(model(feats), labels[rows])
+                loss.backward()
+                opt.step()
+            model.eval()
+            with no_grad():
+                scores[name] = accuracy(model(feats), labels[rows])
+        assert scores["sign"] > scores["sgc"]
+
+
+class TestGraphSAGE:
+    def test_forward_on_sampled_batch(self, small_dataset):
+        sampler = NeighborSampler([5, 5])
+        seeds = small_dataset.split.train[:32]
+        batch = sampler.sample(small_dataset.graph, seeds, new_rng(0))
+        model = GraphSAGE(small_dataset.num_features, 16, small_dataset.num_classes, num_layers=2, seed=0)
+        out = model(batch, small_dataset.features[batch.input_nodes])
+        assert out.shape == (32, small_dataset.num_classes)
+
+    def test_layer_count_mismatch_raises(self, small_dataset):
+        sampler = NeighborSampler([5])
+        batch = sampler.sample(small_dataset.graph, small_dataset.split.train[:8], new_rng(0))
+        model = GraphSAGE(small_dataset.num_features, 8, small_dataset.num_classes, num_layers=2, seed=0)
+        with pytest.raises(ValueError):
+            model(batch, small_dataset.features[batch.input_nodes])
+
+    def test_feature_row_mismatch_raises(self, small_dataset):
+        sampler = NeighborSampler([5])
+        batch = sampler.sample(small_dataset.graph, small_dataset.split.train[:8], new_rng(0))
+        model = GraphSAGE(small_dataset.num_features, 8, small_dataset.num_classes, num_layers=1, seed=0)
+        with pytest.raises(ValueError):
+            model(batch, small_dataset.features[:3])
+
+    def test_training_reduces_loss(self, small_dataset):
+        sampler = LaborSampler([5, 5])
+        model = GraphSAGE(small_dataset.num_features, 16, small_dataset.num_classes, num_layers=2, seed=0)
+        opt = Adam(model.parameters(), lr=0.01)
+        rng = new_rng(0)
+        seeds = small_dataset.split.train[:128]
+        batch = sampler.sample(small_dataset.graph, seeds, rng)
+        feats = small_dataset.features[batch.input_nodes]
+        labels = small_dataset.labels[batch.output_nodes]
+        losses = []
+        for _ in range(10):
+            opt.zero_grad()
+            loss = cross_entropy(model(batch, feats), labels)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+
+class TestGAT:
+    def test_forward_shape(self, small_dataset):
+        sampler = NeighborSampler([5, 5])
+        seeds = small_dataset.split.train[:16]
+        batch = sampler.sample(small_dataset.graph, seeds, new_rng(0))
+        model = GAT(small_dataset.num_features, 8, small_dataset.num_classes, num_layers=2, num_heads=2, seed=0)
+        out = model(batch, small_dataset.features[batch.input_nodes])
+        assert out.shape == (16, small_dataset.num_classes)
+
+    def test_gradients_flow(self, small_dataset):
+        sampler = NeighborSampler([4])
+        batch = sampler.sample(small_dataset.graph, small_dataset.split.train[:16], new_rng(0))
+        model = GAT(small_dataset.num_features, 8, small_dataset.num_classes, num_layers=1, num_heads=2, seed=0)
+        loss = cross_entropy(
+            model(batch, small_dataset.features[batch.input_nodes]),
+            small_dataset.labels[batch.output_nodes],
+        )
+        loss.backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+    def test_invalid_heads(self):
+        from repro.models.gat import MultiHeadGATConv
+
+        with pytest.raises(ValueError):
+            MultiHeadGATConv(4, 4, num_heads=0)
+
+
+class TestRegistry:
+    def test_build_pp_models(self):
+        for name in PP_MODELS:
+            model = build_pp_model(name, 12, 5, num_hops=2, seed=0)
+            assert model(_hop_batch(dim=12, hops=2)).shape == (16, 5)
+
+    def test_build_mp_models(self):
+        for name in MP_MODELS:
+            model = build_mp_model(name, 12, 5, num_layers=2, seed=0)
+            assert model.num_layers == 2
+
+    def test_unknown_names(self):
+        with pytest.raises(KeyError):
+            build_pp_model("gcn", 4, 2, num_hops=1)
+        with pytest.raises(KeyError):
+            build_mp_model("gin", 4, 2, num_layers=1)
+
+    def test_is_pp_model(self):
+        assert is_pp_model("SIGN")
+        assert not is_pp_model("sage")

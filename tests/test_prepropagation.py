@@ -1,0 +1,190 @@
+"""Tests for hop-wise feature propagation, the feature store and the pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.operators import normalized_adjacency
+from repro.prepropagation import (
+    FeatureStore,
+    HopFeatures,
+    PreprocessingPipeline,
+    PropagationConfig,
+    propagate_features,
+)
+from repro.prepropagation.propagator import expanded_bytes, flops_estimate
+
+
+class TestPropagationConfig:
+    def test_num_matrices_is_input_expansion_factor(self):
+        config = PropagationConfig(num_hops=3, operators=("normalized_adjacency", "ppr"))
+        assert config.num_matrices == 2 * 4
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(num_hops=-1)
+
+    def test_empty_operators(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(num_hops=2, operators=())
+
+    def test_kwargs_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(num_hops=2, operators=("ppr",), operator_kwargs=({}, {}))
+
+
+class TestPropagateFeatures:
+    def test_hop_zero_is_raw_features(self, tiny_graph):
+        features = np.random.default_rng(0).standard_normal((8, 4)).astype(np.float32)
+        hop_feats, _ = propagate_features(tiny_graph, features, PropagationConfig(num_hops=2))
+        assert np.allclose(hop_feats[0][0], features)
+
+    def test_matches_manual_operator_powers(self, tiny_graph):
+        features = np.random.default_rng(1).standard_normal((8, 3))
+        config = PropagationConfig(num_hops=3)
+        hop_feats, _ = propagate_features(tiny_graph, features, config)
+        operator = normalized_adjacency(tiny_graph)
+        expected = features.copy()
+        for r in range(1, 4):
+            expected = operator @ expected
+            assert np.allclose(hop_feats[0][r], expected.astype(np.float32), atol=1e-5)
+
+    def test_multiple_kernels(self, tiny_graph):
+        features = np.ones((8, 2))
+        config = PropagationConfig(num_hops=1, operators=("normalized_adjacency", "random_walk"))
+        hop_feats, _ = propagate_features(tiny_graph, features, config)
+        assert len(hop_feats) == 2
+        assert len(hop_feats[0]) == 2
+
+    def test_feature_shape_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            propagate_features(tiny_graph, np.ones((5, 2)), PropagationConfig(num_hops=1))
+
+    def test_timing_reported(self, tiny_graph):
+        _, timing = propagate_features(tiny_graph, np.ones((8, 2)), PropagationConfig(num_hops=1))
+        assert timing["total_seconds"] >= 0
+        assert set(timing) == {"operator_seconds", "propagate_seconds", "total_seconds"}
+
+    def test_propagation_preserves_scale(self, small_dataset):
+        """Normalized-adjacency propagation must not blow up feature magnitudes."""
+        config = PropagationConfig(num_hops=4)
+        hop_feats, _ = propagate_features(small_dataset.graph, small_dataset.features, config)
+        raw_norm = np.linalg.norm(small_dataset.features)
+        assert np.linalg.norm(hop_feats[0][-1]) < 2.0 * raw_norm
+
+    def test_flops_and_bytes_estimates(self, tiny_graph):
+        config = PropagationConfig(num_hops=2)
+        assert flops_estimate(tiny_graph, 4, config) > 0
+        assert expanded_bytes(100, 10, config) == 100 * 10 * 4 * 3
+
+
+class TestHopFeatures:
+    def _make(self, rows=6, dim=3, hops=2):
+        rng = np.random.default_rng(0)
+        mats = [[rng.standard_normal((rows, dim)).astype(np.float32) for _ in range(hops + 1)]]
+        return HopFeatures(node_ids=np.arange(rows) * 2, matrices=mats)
+
+    def test_properties(self):
+        hf = self._make()
+        assert hf.num_rows == 6
+        assert hf.num_hops == 2
+        assert hf.num_kernels == 1
+        assert hf.feature_dim == 3
+        assert len(hf.hop_list()) == 3
+
+    def test_gather_rows(self):
+        hf = self._make()
+        gathered = hf.gather(np.array([0, 5]))
+        assert all(g.shape == (2, 3) for g in gathered)
+
+    def test_restrict(self):
+        hf = self._make()
+        sub = hf.restrict(np.array([1, 2]))
+        assert sub.num_rows == 2
+        assert np.array_equal(sub.node_ids, hf.node_ids[[1, 2]])
+
+    def test_misaligned_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            HopFeatures(node_ids=np.arange(3), matrices=[[np.zeros((4, 2))]])
+
+    def test_empty_matrices_rejected(self):
+        with pytest.raises(ValueError):
+            HopFeatures(node_ids=np.arange(3), matrices=[])
+
+    def test_from_full_matrices_slices_rows(self):
+        full = [[np.arange(20).reshape(10, 2).astype(np.float32)]]
+        hf = HopFeatures.from_full_matrices(full, np.array([2, 7]))
+        assert np.allclose(hf.matrices[0][0], [[4, 5], [14, 15]])
+
+
+class TestFeatureStore:
+    def test_in_memory_gather(self, prepared_store):
+        store = prepared_store.store
+        rows = np.array([0, 1, 5])
+        gathered = store.gather(rows)
+        assert len(gathered) == store.num_matrices
+        assert gathered[0].shape == (3, store.feature_dim)
+
+    def test_iter_chunks_cover_all_rows(self, prepared_store):
+        store = prepared_store.store
+        seen = 0
+        for rows, mats in store.iter_chunks(chunk_size=200):
+            seen += rows.size
+            assert mats[0].shape[0] == rows.size
+        assert seen == store.num_rows
+
+    def test_iter_chunks_invalid(self, prepared_store):
+        with pytest.raises(ValueError):
+            list(prepared_store.store.iter_chunks(0))
+
+    def test_file_backed_round_trip(self, small_dataset, tmp_path):
+        config = PropagationConfig(num_hops=1)
+        result = PreprocessingPipeline(config, root=tmp_path / "store").run(small_dataset)
+        store = result.store
+        assert store.is_file_backed
+        assert len(store.file_paths()) == 2
+        rows = np.array([0, 3, 7])
+        assert np.allclose(store.gather(rows)[0], store.gather(rows, memmap=True)[0])
+        reloaded = FeatureStore.load(tmp_path / "store")
+        assert reloaded.num_rows == store.num_rows
+
+    def test_memmap_requires_file_backing(self, prepared_store):
+        with pytest.raises(RuntimeError):
+            prepared_store.store.matrices(memmap=True)
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            FeatureStore.load(tmp_path / "nothing")
+
+
+class TestPipeline:
+    def test_result_accounting(self, prepared_store, small_dataset):
+        result = prepared_store
+        labeled = small_dataset.split.num_labeled
+        assert result.labeled_rows == labeled
+        # 2 hops -> 3 matrices -> expansion factor 3
+        assert result.expansion_factor == pytest.approx(3.0)
+        assert result.expanded_feature_bytes == 3 * result.raw_feature_bytes
+        assert result.wall_seconds > 0
+
+    def test_store_rows_match_labeled_nodes(self, prepared_store, small_dataset):
+        store = prepared_store.store
+        labeled = np.unique(
+            np.concatenate([small_dataset.split.train, small_dataset.split.valid, small_dataset.split.test])
+        )
+        assert np.array_equal(store.node_ids, labeled)
+
+    def test_summary_keys(self, prepared_store):
+        assert {"hops", "kernels", "wall_seconds", "expansion_factor"} <= set(prepared_store.summary())
+
+    def test_estimated_flops_positive(self, small_dataset):
+        pipeline = PreprocessingPipeline(PropagationConfig(num_hops=2))
+        assert pipeline.estimated_flops(small_dataset) > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(hops=st.integers(min_value=0, max_value=4), dim=st.integers(min_value=1, max_value=6))
+def test_property_expansion_factor_is_hops_plus_one(hops, dim):
+    """Stored bytes grow exactly as K(R+1) — the input-expansion law (Section 3.4)."""
+    config = PropagationConfig(num_hops=hops)
+    assert expanded_bytes(10, dim, config) == 10 * dim * 4 * (hops + 1)

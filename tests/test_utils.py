@@ -1,0 +1,157 @@
+"""Tests for repro.utils: RNG, timers, config handling, logging."""
+
+import json
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.config import ConfigError, load_json_config, save_json_config
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.rng import RngMixin, global_seed, new_rng, seed_everything, spawn_rng
+from repro.utils.timer import TimeAccumulator, Timer
+
+
+class TestRng:
+    def test_new_rng_from_int_is_deterministic(self):
+        a = new_rng(42).integers(0, 1000, size=10)
+        b = new_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_new_rng_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_none_gives_generator(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+    def test_spawn_rng_children_are_independent(self):
+        parent = new_rng(0)
+        children = spawn_rng(parent, 3)
+        draws = [c.random(5) for c in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_rng_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(new_rng(0), -1)
+
+    def test_spawn_rng_zero(self):
+        assert spawn_rng(new_rng(0), 0) == []
+
+    def test_seed_everything_sets_global(self):
+        seed_everything(123)
+        assert global_seed() == 123
+
+    def test_rng_mixin_lazy(self):
+        class Thing(RngMixin):
+            pass
+
+        t = Thing()
+        t.set_seed(5)
+        first = t.rng.random()
+        t.set_seed(5)
+        assert t.rng.random() == first
+
+
+class TestTimer:
+    def test_timer_context_manager(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_timer_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_timer_accumulates(self):
+        t = Timer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_timer_reset(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_accumulator_measure_and_fractions(self):
+        acc = TimeAccumulator()
+        with acc.measure("a"):
+            time.sleep(0.002)
+        acc.add("b", 0.01)
+        fractions = acc.fractions()
+        assert pytest.approx(sum(fractions.values()), abs=1e-9) == 1.0
+        assert acc.total() > 0.01
+
+    def test_accumulator_negative_add_raises(self):
+        with pytest.raises(ValueError):
+            TimeAccumulator().add("x", -1.0)
+
+    def test_accumulator_empty_fractions(self):
+        assert TimeAccumulator().fractions() == {}
+
+    def test_accumulator_merge(self):
+        a = TimeAccumulator()
+        a.add("x", 1.0)
+        b = TimeAccumulator()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        merged = a.merge(b)
+        assert merged.buckets["x"] == pytest.approx(3.0)
+        assert merged.buckets["y"] == pytest.approx(1.0)
+
+
+class TestConfig:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        data = {"model": "sign", "hops": 3, "lr": 0.01}
+        path = save_json_config(data, tmp_path / "cfg.json")
+        loaded = load_json_config(path, required=["model", "hops"])
+        assert loaded == data
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_json_config(tmp_path / "missing.json")
+
+    def test_load_missing_keys_raises(self, tmp_path):
+        path = save_json_config({"a": 1}, tmp_path / "cfg.json")
+        with pytest.raises(ConfigError, match="missing required"):
+            load_json_config(path, required=["b"])
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_json_config(path)
+
+    def test_load_non_object_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigError):
+            load_json_config(path)
+
+    def test_save_numpy_values(self, tmp_path):
+        data = {"arr": np.arange(3), "scalar": np.float64(1.5)}
+        path = save_json_config(data, tmp_path / "np.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["arr"] == [0, 1, 2]
+        assert loaded["scalar"] == 1.5
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("sampling.labor")
+        assert logger.name == "repro.sampling.labor"
+
+    def test_get_logger_already_namespaced(self):
+        assert get_logger("repro.models").name == "repro.models"
+
+    def test_set_verbosity(self):
+        set_verbosity(logging.DEBUG)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity(logging.INFO)
