@@ -6,6 +6,9 @@ Two complementary layers:
   batch-assembly strategies over the replica feature stores and feed the
   actual training loop — baseline per-row gather, fused index-op gather,
   chunk-reshuffled GPU-side assembly, and memory-mapped (storage) reads.
+* **Prefetching** (:mod:`~repro.dataloading.prefetch`) overlaps batch
+  assembly with model compute through a background-thread, bounded-queue,
+  double-buffered wrapper around any real loader.
 * **Cost models** (:mod:`~repro.dataloading.cost_model`,
   :mod:`~repro.dataloading.mpgnn_systems`) evaluate each strategy at *paper
   scale* on the simulated hardware, producing the epoch-time and throughput
@@ -25,6 +28,7 @@ from repro.dataloading.loaders import (
     StorageLoader,
     build_loader,
 )
+from repro.dataloading.prefetch import PrefetchLoader
 from repro.dataloading.cost_model import (
     EpochCost,
     LoaderStrategy,
@@ -49,6 +53,7 @@ __all__ = [
     "ChunkReshuffleLoader",
     "StorageLoader",
     "build_loader",
+    "PrefetchLoader",
     "LoaderStrategy",
     "ModelComputeProfile",
     "EpochCost",

@@ -55,22 +55,19 @@ class BatchSchedule:
 
 
 def _runs_from_indices(indices: np.ndarray) -> List[tuple[int, int]]:
-    """Decompose sorted-or-not indices into maximal contiguous ascending runs."""
+    """Decompose sorted-or-not indices into maximal contiguous ascending runs.
+
+    Vectorized: run boundaries are the positions where consecutive values do
+    not increase by exactly one, so a single ``np.diff`` scan replaces the
+    per-element Python loop (schedule construction sits on the epoch path).
+    """
     if indices.size == 0:
         return []
-    runs: List[tuple[int, int]] = []
-    start = int(indices[0])
-    prev = start
-    for value in indices[1:]:
-        value = int(value)
-        if value == prev + 1:
-            prev = value
-            continue
-        runs.append((start, prev + 1))
-        start = value
-        prev = value
-    runs.append((start, prev + 1))
-    return runs
+    indices = np.asarray(indices, dtype=np.int64)
+    breaks = np.flatnonzero(np.diff(indices) != 1)
+    starts = indices[np.concatenate(([0], breaks + 1))]
+    stops = indices[np.concatenate((breaks, [indices.size - 1]))] + 1
+    return [(int(a), int(b)) for a, b in zip(starts, stops)]
 
 
 def sgd_rr_schedule(

@@ -13,11 +13,33 @@ Loader                   Paper counterpart
 :class:`ChunkReshuffleLoader`  chunk reshuffling + GPU-side assembly (Figure 6d)
 :class:`StorageLoader`   GDS-style chunked reads from per-hop files (Section 4.3)
 =======================  ==========================================================
+
+Optimized assembly path
+-----------------------
+``FusedLoader``/``ChunkReshuffleLoader``/``StorageLoader`` additionally support
+the packed fast path built on the store's contiguous ``(M, num_rows, F)``
+block (see :mod:`repro.prepropagation.store`):
+
+* ``packed=True`` (default) assembles all ``M = K (R + 1)`` hop matrices of a
+  batch with a *single* ``np.take(..., axis=1, out=...)`` (fused loader) or
+  one slice copy per contiguous run spanning all matrices (chunk/storage
+  loaders), instead of ``M`` separate per-matrix gathers.
+* ``reuse_buffers=True`` threads a ring of ``num_buffers`` preallocated
+  ``(M, batch_size, F)`` buffers through assembly so the steady state
+  allocates nothing; yielded ``hop_features`` are then *views* into the ring
+  that stay valid until ``num_buffers - 1`` further batches have been
+  assembled (the double-buffer contract the prefetch pipeline relies on —
+  see :mod:`repro.dataloading.prefetch`).
+
+Passing ``packed=False, reuse_buffers=False`` restores the seed (naive)
+assembly path exactly — the reference the loader-throughput benchmark
+measures against.  Batches are bit-identical between the two paths for the
+same seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -44,11 +66,41 @@ class PPGNNBatch:
         return int(sum(m.nbytes for m in self.hop_features))
 
 
+class _BufferRing:
+    """Ring of reusable ``(num_matrices, batch_size, F)`` assembly buffers.
+
+    ``acquire(n)`` hands out a ``(num_matrices, n, F)`` view of the next
+    buffer in round-robin order; the view's contents stay valid until the
+    ring wraps back around (``len(ring) - 1`` subsequent acquisitions).
+    """
+
+    def __init__(self, num_matrices: int, batch_size: int, feature_dim: int, dtype, num_buffers: int) -> None:
+        if num_buffers <= 0:
+            raise ValueError("num_buffers must be positive")
+        self._buffers = [
+            np.empty((num_matrices, batch_size, feature_dim), dtype=dtype)
+            for _ in range(num_buffers)
+        ]
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def acquire(self, num_rows: int) -> np.ndarray:
+        buf = self._buffers[self._next]
+        self._next = (self._next + 1) % len(self._buffers)
+        if num_rows > buf.shape[1]:
+            raise ValueError(f"requested {num_rows} rows from buffers of size {buf.shape[1]}")
+        return buf[:, :num_rows]
+
+
 class PPGNNLoader:
     """Base class: schedule generation + per-epoch iteration with timing."""
 
     #: name used by the ablation experiments
     strategy_name = "base"
+    #: whether this strategy supports the packed single-kernel assembly path
+    supports_packed = True
 
     def __init__(
         self,
@@ -58,6 +110,9 @@ class PPGNNLoader:
         method: str = "rr",
         chunk_size: int = 1,
         seed: SeedLike = 0,
+        packed: Optional[bool] = None,
+        reuse_buffers: bool = False,
+        num_buffers: int = 2,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -73,8 +128,42 @@ class PPGNNLoader:
         self.chunk_size = chunk_size
         self.rng = new_rng(seed)
         self.timing = TimeAccumulator()
+        self._packed_requested = packed  # None = strategy default, bool = explicit
+        self.packed = self.supports_packed if packed is None else bool(packed)
+        if self.packed and not self.supports_packed:
+            raise ValueError(f"{type(self).__name__} does not support the packed assembly path")
+        self.reuse_buffers = bool(reuse_buffers)
+        self.num_buffers = int(num_buffers)
+        self._ring: Optional[_BufferRing] = None
+        if self.packed:
+            # materialize (or map) the packed block now: a one-time setup cost
+            # that must not be charged to the first epoch's batch-assembly time
+            self._prepare_packed()
 
     # ------------------------------------------------------------------ #
+    def _prepare_packed(self) -> None:
+        self.store.packed_matrix()
+    def _acquire_block(self, num_rows: int) -> np.ndarray:
+        """Return a ``(num_matrices, num_rows, F)`` assembly target.
+
+        With ``reuse_buffers`` the block comes from the preallocated ring
+        (zero allocation in steady state); otherwise a fresh array is
+        allocated so callers may hold on to yielded batches indefinitely.
+        """
+        if self.reuse_buffers:
+            if self._ring is None:
+                self._ring = _BufferRing(
+                    self.store.num_matrices,
+                    self.batch_size,
+                    self.store.feature_dim,
+                    self.store.dtype,
+                    self.num_buffers,
+                )
+            return self._ring.acquire(num_rows)
+        return np.empty(
+            (self.store.num_matrices, num_rows, self.store.feature_dim), dtype=self.store.dtype
+        )
+
     def epoch_schedule(self) -> BatchSchedule:
         return schedule_for_method(
             self.method,
@@ -98,16 +187,33 @@ class PPGNNLoader:
     def num_batches(self) -> int:
         return int(np.ceil(self.store.num_rows / self.batch_size))
 
+    # ------------------------------------------------------------------ #
+    def _fill_runs(self, source: np.ndarray, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
+        """Copy contiguous ``runs`` from a packed source into an assembly block.
+
+        One bulk slice copy per run covers *all* hop matrices at once — the
+        replica of the per-run DMA transfers of GPU-side chunk assembly.
+        """
+        block = self._acquire_block(rows.size)
+        offset = 0
+        for start, stop in runs:
+            n = stop - start
+            block[:, offset : offset + n] = source[:, start:stop]
+            offset += n
+        return list(block)
+
 
 class BaselineLoader(PPGNNLoader):
     """Row-at-a-time gather, mimicking default DataLoader collation.
 
     Every row of every hop matrix is copied with an individual operation —
     the kernel-launch-bound behaviour the paper identifies as the dominant
-    overhead of the vanilla PP-GNN implementations.
+    overhead of the vanilla PP-GNN implementations.  This loader is the
+    profiled pathology and intentionally has no packed fast path.
     """
 
     strategy_name = "baseline"
+    supports_packed = False
 
     def _assemble(self, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
         matrices = self.store.matrices()
@@ -121,11 +227,20 @@ class BaselineLoader(PPGNNLoader):
 
 
 class FusedLoader(PPGNNLoader):
-    """Efficient host-side batch assembly: one fancy-index op per hop matrix."""
+    """Efficient host-side batch assembly: one fancy-index op per hop matrix.
+
+    With ``packed=True`` the per-matrix index ops fuse further into a single
+    ``np.take`` over the store's ``(M, N, F)`` block, writing straight into a
+    (possibly reused) batch buffer.
+    """
 
     strategy_name = "fused"
 
     def _assemble(self, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
+        if self.packed:
+            block = self._acquire_block(rows.size)
+            self.store.gather_packed(rows, out=block)
+            return list(block)
         return self.store.gather(rows)
 
 
@@ -134,7 +249,10 @@ class ChunkReshuffleLoader(PPGNNLoader):
 
     Rows arrive as a handful of contiguous runs, so the loader issues one
     slice copy per run (the bulk DMA transfers) and concatenates them — the
-    concatenation standing in for the GPU-side assembly kernel.
+    concatenation standing in for the GPU-side assembly kernel.  The packed
+    path performs one slice copy per run across *all* matrices into a
+    preallocated block, eliminating both the per-matrix loop and the
+    concatenation allocations.
     """
 
     strategy_name = "chunk"
@@ -149,6 +267,8 @@ class ChunkReshuffleLoader(PPGNNLoader):
             self.chunk_size = self.batch_size
 
     def _assemble(self, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
+        if self.packed:
+            return self._fill_runs(self.store.packed_matrix(), rows, runs)
         matrices = self.store.matrices()
         out: List[np.ndarray] = []
         for matrix in matrices:
@@ -158,17 +278,21 @@ class ChunkReshuffleLoader(PPGNNLoader):
 
 
 class StorageLoader(PPGNNLoader):
-    """Chunked reads from the per-hop files of a file-backed store.
+    """Chunked reads from the hop files of a file-backed store.
 
     Models the GDS path: data never materializes fully in (host) memory —
     each batch's contiguous runs are read straight from the memory-mapped hop
     files.  Requires chunk reshuffling (the paper only supports SGD-CR for
-    storage-resident inputs).
+    storage-resident inputs).  When the store was persisted with
+    ``layout="packed"`` the packed path reads each run with one bulk copy per
+    matrix slab from the single mapped file; otherwise it falls back to the
+    per-hop-file reads.
     """
 
     strategy_name = "storage"
 
     def __init__(self, *args, **kwargs) -> None:
+        self._mapped_packed: Optional[np.ndarray] = None
         kwargs.setdefault("method", "cr")
         super().__init__(*args, **kwargs)
         if not self.store.is_file_backed:
@@ -178,7 +302,22 @@ class StorageLoader(PPGNNLoader):
         if self.chunk_size <= 1:
             self.chunk_size = self.batch_size
 
+    def _prepare_packed(self) -> None:
+        # storage data stays on disk: map the packed file when it exists and
+        # otherwise keep the per-hop-file fallback (never packs into RAM)
+        if self.store.has_packed_file:
+            self._mapped_packed = self.store.packed_matrix(memmap=True)
+        elif self._packed_requested and self.store.is_file_backed:
+            raise ValueError(
+                "StorageLoader packed=True requires a store persisted with "
+                "layout='packed'; this store uses the per-hop-file layout"
+            )
+        else:
+            self.packed = False  # default adapts; keep the flag truthful
+
     def _assemble(self, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
+        if self._mapped_packed is not None:
+            return self._fill_runs(self._mapped_packed, rows, runs)
         mapped = self.store.matrices(memmap=True)
         out: List[np.ndarray] = []
         for matrix in mapped:
@@ -202,17 +341,28 @@ def build_loader(
     batch_size: int,
     chunk_size: Optional[int] = None,
     seed: SeedLike = 0,
+    packed: Optional[bool] = None,
+    reuse_buffers: bool = False,
+    num_buffers: int = 2,
 ) -> PPGNNLoader:
     """Construct a loader by strategy name.
 
     ``baseline``/``fused`` use SGD-RR; ``chunk``/``storage`` use SGD-CR with
-    ``chunk_size`` defaulting to the batch size.
+    ``chunk_size`` defaulting to the batch size.  ``packed``/``reuse_buffers``/
+    ``num_buffers`` select the optimized assembly path (see module docstring);
+    ``packed=None`` keeps each strategy's default.
     """
     key = strategy.lower()
     if key not in LOADER_CLASSES:
         raise KeyError(f"unknown loader strategy {strategy!r}; available: {sorted(LOADER_CLASSES)}")
     cls = LOADER_CLASSES[key]
-    kwargs = dict(batch_size=batch_size, seed=seed)
+    kwargs = dict(
+        batch_size=batch_size,
+        seed=seed,
+        packed=packed,
+        reuse_buffers=reuse_buffers,
+        num_buffers=num_buffers,
+    )
     if key in ("chunk", "storage"):
         kwargs["method"] = "cr"
         kwargs["chunk_size"] = chunk_size or batch_size

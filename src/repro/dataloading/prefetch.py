@@ -1,0 +1,173 @@
+"""Asynchronous, double-buffered batch prefetching (Section 4.1, Figure 6c).
+
+The paper's prefetching scheme dedicates a host thread to batch assembly so
+loading of batch ``i+1`` overlaps with model compute of batch ``i``; epoch
+time then follows the two-stage pipeline makespan modelled in
+:mod:`repro.hardware.streams` instead of the serial sum.
+
+:class:`PrefetchLoader` wraps any :class:`~repro.dataloading.loaders.PPGNNLoader`
+with exactly that structure:
+
+* a background *producer* thread drives the inner loader's epoch and pushes
+  assembled batches into a bounded queue (``depth`` slots — the double/triple
+  buffer);
+* the consumer (the training loop) pops batches, so its only data-loading
+  cost is the time it actually *waits* on the queue;
+* batches, their order, and their contents are bit-identical to iterating the
+  inner loader directly — prefetching changes *when* assembly happens, never
+  *what* is assembled.
+
+Zero-copy contract: when the inner loader runs with ``reuse_buffers=True``
+its yielded hop features are views into a ring of preallocated buffers, and
+the producer keeps assembling while up to ``depth`` batches sit in the queue
+and one more is held by the consumer.  The ring therefore needs at least
+``depth + 2`` buffers; the constructor enforces this instead of silently
+corrupting in-flight batches.
+
+Timing knobs and accounting:
+
+* ``depth`` — queue capacity (1 = classic double buffering: one batch in
+  flight while the next is assembled).
+* ``timing`` buckets: ``"batch_assembly"`` (producer-side wall time per
+  batch) and ``"prefetch_wait"`` (consumer stall time — the data-loading
+  time that remains visible to the training loop).
+* ``assembly_times`` / ``wait_times`` — per-batch lists for the most recent
+  epoch, ready to feed :func:`repro.hardware.streams.overlap_from_recorded`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.dataloading.loaders import PPGNNBatch, PPGNNLoader
+from repro.utils.timer import TimeAccumulator
+
+__all__ = ["PrefetchLoader"]
+
+#: how often blocked queue operations re-check the shutdown flag (seconds)
+_POLL_SECONDS = 0.05
+
+
+class _EndOfEpoch:
+    """Sentinel closing the queue; carries a producer-side exception if any."""
+
+    def __init__(self, error: BaseException | None = None) -> None:
+        self.error = error
+
+
+class PrefetchLoader:
+    """Background-thread, bounded-queue, double-buffered loader wrapper.
+
+    Drop-in for a :class:`PPGNNLoader` wherever only ``epoch()`` iteration and
+    read-only metadata are needed; the trainer uses it to overlap batch
+    assembly (and memmap reads, for storage loaders) with model compute.
+    """
+
+    def __init__(self, loader: PPGNNLoader, depth: int = 1) -> None:
+        if depth <= 0:
+            raise ValueError("prefetch depth must be positive")
+        if getattr(loader, "reuse_buffers", False):
+            required = depth + 2  # depth queued + one held by consumer + one in assembly
+            if loader.num_buffers < required:
+                raise ValueError(
+                    f"prefetching depth {depth} over a buffer-reusing loader requires "
+                    f"num_buffers >= {required}, got {loader.num_buffers}"
+                )
+        self.loader = loader
+        self.depth = depth
+        self.timing = TimeAccumulator()
+        #: producer-side per-batch assembly seconds for the last epoch
+        self.assembly_times: List[float] = []
+        #: consumer-side per-batch queue-wait seconds for the last epoch
+        self.wait_times: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # read-only passthroughs so the trainer can treat this as a loader
+    @property
+    def store(self):
+        return self.loader.store
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.loader.labels
+
+    @property
+    def batch_size(self) -> int:
+        return self.loader.batch_size
+
+    @property
+    def strategy_name(self) -> str:
+        return f"{self.loader.strategy_name}+prefetch"
+
+    def num_batches(self) -> int:
+        return self.loader.num_batches()
+
+    def stall_seconds(self) -> float:
+        """Total time the consumer has spent blocked on the queue."""
+        return self.timing.buckets.get("prefetch_wait", 0.0)
+
+    # ------------------------------------------------------------------ #
+    def _produce(
+        self,
+        out_queue: "queue.Queue[PPGNNBatch | _EndOfEpoch]",
+        stop: threading.Event,
+    ) -> None:
+        error: BaseException | None = None
+        try:
+            iterator = self.loader.epoch()
+            while not stop.is_set():
+                began = time.perf_counter()
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    break
+                elapsed = time.perf_counter() - began
+                self.assembly_times.append(elapsed)
+                self.timing.add("batch_assembly", elapsed)
+                if not self._put(out_queue, batch, stop):
+                    return
+        except BaseException as exc:  # propagated to the consumer
+            error = exc
+        self._put(out_queue, _EndOfEpoch(error), stop)
+
+    @staticmethod
+    def _put(out_queue: queue.Queue, item, stop: threading.Event) -> bool:
+        """Blocking put that aborts promptly when the consumer shuts down."""
+        while not stop.is_set():
+            try:
+                out_queue.put(item, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def epoch(self) -> Iterator[PPGNNBatch]:
+        """Yield one epoch of batches assembled by the background thread."""
+        batch_queue: "queue.Queue[PPGNNBatch | _EndOfEpoch]" = queue.Queue(maxsize=self.depth)
+        stop = threading.Event()
+        self.assembly_times = []
+        self.wait_times = []
+        producer = threading.Thread(
+            target=self._produce, args=(batch_queue, stop), name="ppgnn-prefetch", daemon=True
+        )
+        producer.start()
+        try:
+            while True:
+                began = time.perf_counter()
+                item = batch_queue.get()
+                waited = time.perf_counter() - began
+                if isinstance(item, _EndOfEpoch):
+                    if item.error is not None:
+                        raise item.error
+                    return
+                self.wait_times.append(waited)
+                self.timing.add("prefetch_wait", waited)
+                yield item
+        finally:
+            stop.set()
+            producer.join(timeout=5.0)

@@ -114,8 +114,27 @@ class CSRGraph:
         )
 
     def reverse(self) -> "CSRGraph":
-        """Return the graph with all edges reversed (CSC view of the adjacency)."""
-        return CSRGraph.from_scipy(self.to_scipy().T.tocsr(), name=f"{self.name}.rev")
+        """Return the graph with all edges reversed (CSC view of the adjacency).
+
+        Direct O(E) CSR transpose: in-degrees via ``bincount`` give the new
+        ``indptr``; a stable argsort of the destination column groups edges by
+        destination while preserving the ascending source order inside each
+        group, so the reversed rows come out sorted and any edge weights stay
+        aligned with their edge.  (No scipy round-trip, which also means
+        uniform all-ones weights are preserved rather than dropped.)
+        """
+        counts = np.bincount(self.indices, minlength=self.num_nodes)
+        new_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=new_indptr[1:])
+        order = np.argsort(self.indices, kind="stable")
+        sources = np.repeat(np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr))
+        return CSRGraph(
+            indptr=new_indptr,
+            indices=sources[order],
+            num_nodes=self.num_nodes,
+            edge_weight=self.edge_weight[order] if self.edge_weight is not None else None,
+            name=f"{self.name}.rev",
+        )
 
     def subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
         """Induced subgraph on ``nodes``.

@@ -21,6 +21,7 @@ from repro.hardware.transfer import TransferEngine
 from repro.hardware.streams import (
     DoubleBufferPipeline,
     PipelineResult,
+    overlap_from_recorded,
     pipelined_time,
     pipelined_time_three_stage,
     serial_time,
@@ -39,6 +40,7 @@ __all__ = [
     "TransferEngine",
     "DoubleBufferPipeline",
     "PipelineResult",
+    "overlap_from_recorded",
     "pipelined_time",
     "pipelined_time_three_stage",
     "serial_time",

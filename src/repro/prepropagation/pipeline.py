@@ -60,9 +60,15 @@ class PreprocessingResult:
 class PreprocessingPipeline:
     """Compute and (optionally) persist pre-propagated features for a dataset."""
 
-    def __init__(self, config: PropagationConfig, root: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        config: PropagationConfig,
+        root: Optional[Path] = None,
+        store_layout: str = "hops",
+    ) -> None:
         self.config = config
         self.root = Path(root) if root is not None else None
+        self.store_layout = store_layout
 
     def run(self, dataset: NodeClassificationDataset) -> PreprocessingResult:
         """Propagate features over the full graph, then keep only labeled rows.
@@ -78,7 +84,7 @@ class PreprocessingPipeline:
         )
         labeled = np.unique(labeled)
         hop_features = HopFeatures.from_full_matrices(full_matrices, labeled)
-        store = FeatureStore(hop_features, root=self.root)
+        store = FeatureStore(hop_features, root=self.root, layout=self.store_layout)
 
         dtype_bytes = np.dtype(self.config.dtype).itemsize
         raw_bytes = int(labeled.size * dataset.num_features * dtype_bytes)

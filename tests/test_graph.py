@@ -87,6 +87,42 @@ class TestCSRGraph:
         assert g.reverse().num_edges == g.num_edges
         assert g.reverse().has_edge(1, 0)
 
+    def test_reverse_matches_scipy_transpose(self, tiny_graph):
+        reversed_graph = tiny_graph.reverse()
+        reference = tiny_graph.to_scipy().T.tocsr()
+        reference.sort_indices()
+        assert np.array_equal(reversed_graph.indptr, reference.indptr.astype(np.int64))
+        assert np.array_equal(reversed_graph.indices, reference.indices.astype(np.int64))
+        assert np.array_equal(reversed_graph.reverse().indptr, tiny_graph.indptr)
+        assert np.array_equal(reversed_graph.reverse().indices, tiny_graph.indices)
+
+    def test_reverse_keeps_edge_weights_aligned(self):
+        g = from_edge_index(np.array([[0, 0, 1, 2], [1, 2, 2, 0]]), num_nodes=3)
+        # weight of each edge encodes its (src, dst) pair so misalignment is visible
+        weights = np.array([1.0, 2.0, 12.0, 20.0])
+        weighted = CSRGraph(g.indptr, g.indices, g.num_nodes, edge_weight=weights)
+        reversed_graph = weighted.reverse()
+        expected = {(1, 0): 1.0, (2, 0): 2.0, (2, 1): 12.0, (0, 2): 20.0}
+        for src in range(reversed_graph.num_nodes):
+            start, stop = reversed_graph.indptr[src], reversed_graph.indptr[src + 1]
+            for dst, weight in zip(
+                reversed_graph.indices[start:stop], reversed_graph.edge_weight[start:stop]
+            ):
+                assert expected[(src, int(dst))] == weight
+
+    def test_reverse_is_linear_time_construction(self):
+        rng = np.random.default_rng(0)
+        edges = rng.integers(0, 200, size=(2, 2000))
+        g = from_edge_index(edges, num_nodes=200)
+        reversed_graph = g.reverse()
+        assert reversed_graph.num_edges == g.num_edges
+        assert np.array_equal(reversed_graph.in_degree(), g.out_degree())
+        assert np.array_equal(reversed_graph.out_degree(), g.in_degree())
+        # rows come out sorted, matching the scipy-based behaviour
+        for node in range(0, 200, 17):
+            neighbors = reversed_graph.neighbors(node)
+            assert np.all(np.diff(neighbors) >= 0)
+
     def test_subgraph_relabels(self, tiny_graph):
         sub, nodes = tiny_graph.subgraph(np.array([0, 1, 2, 3]))
         assert sub.num_nodes == 4

@@ -156,6 +156,87 @@ class TestFeatureStore:
         with pytest.raises(FileNotFoundError):
             FeatureStore.load(tmp_path / "nothing")
 
+    # -------------------------- packed layout ------------------------- #
+    def test_packed_matches_hop_list(self, prepared_store):
+        store = prepared_store.store
+        packed = store.packed_matrix()
+        assert packed.shape == (store.num_matrices, store.num_rows, store.feature_dim)
+        for idx, matrix in enumerate(store.matrices()):
+            assert np.array_equal(packed[idx], matrix)
+
+    def test_gather_packed_matches_gather(self, prepared_store):
+        store = prepared_store.store
+        rows = np.array([3, 0, 11, 3])
+        block = store.gather_packed(rows)
+        reference = store.gather(rows)
+        assert block.shape[0] == len(reference)
+        for idx, matrix in enumerate(reference):
+            assert np.array_equal(block[idx], matrix)
+
+    def test_gather_packed_into_preallocated_out(self, prepared_store):
+        store = prepared_store.store
+        rows = np.array([1, 2, 8])
+        out = np.empty((store.num_matrices, 3, store.feature_dim), dtype=store.dtype)
+        returned = store.gather_packed(rows, out=out)
+        assert returned is out
+        assert np.array_equal(out[0], store.gather(rows)[0])
+
+    def test_packed_file_layout_round_trip(self, small_dataset, tmp_path):
+        config = PropagationConfig(num_hops=2)
+        result = PreprocessingPipeline(config, root=tmp_path / "pk", store_layout="packed").run(
+            small_dataset
+        )
+        store = result.store
+        assert store.has_packed_file
+        assert len(store.file_paths()) == 1
+        rows = np.array([0, 4, 9])
+        assert np.array_equal(store.gather_packed(rows), store.gather_packed(rows, memmap=True))
+        reloaded = FeatureStore.load(tmp_path / "pk")
+        assert reloaded.layout == "packed"
+        assert reloaded.num_matrices == store.num_matrices
+        assert np.array_equal(reloaded.packed_matrix(), store.packed_matrix())
+
+    def test_memmap_packed_requires_packed_layout(self, small_dataset, tmp_path):
+        result = PreprocessingPipeline(PropagationConfig(num_hops=1), root=tmp_path / "h").run(
+            small_dataset
+        )
+        with pytest.raises(RuntimeError):
+            result.store.packed_matrix(memmap=True)
+
+    def test_invalid_layout_rejected(self, prepared_store):
+        with pytest.raises(ValueError):
+            FeatureStore(prepared_store.store._features, layout="columnar")
+
+    # --------------------- multi-kernel load regression ---------------- #
+    @pytest.mark.parametrize("layout", ["hops", "packed"])
+    def test_multi_kernel_load_round_trip(self, tmp_path, layout):
+        """Regression: load() used to collapse multi-kernel stores into one kernel."""
+        rng = np.random.default_rng(0)
+        matrices = [
+            [rng.standard_normal((12, 5)).astype(np.float32) for _ in range(3)] for _ in range(2)
+        ]
+        features = HopFeatures(node_ids=np.arange(12) * 3, matrices=matrices)
+        FeatureStore(features, root=tmp_path / "mk", layout=layout)
+        reloaded = FeatureStore.load(tmp_path / "mk")
+        assert reloaded.num_kernels == 2
+        assert reloaded.num_hops == 2
+        assert reloaded.num_matrices == 6
+        for kernel_got, kernel_want in zip(reloaded._features.matrices, matrices):
+            for got, want in zip(kernel_got, kernel_want):
+                assert np.array_equal(got, want)
+
+    def test_legacy_store_without_meta_loads_single_kernel(self, tmp_path):
+        """Stores persisted before meta.json existed still load (one kernel)."""
+        rng = np.random.default_rng(1)
+        root = tmp_path / "legacy"
+        root.mkdir()
+        for idx in range(3):
+            np.save(root / f"hop_{idx:02d}.npy", rng.standard_normal((6, 2)).astype(np.float32))
+        np.save(root / "node_ids.npy", np.arange(6))
+        store = FeatureStore.load(root)
+        assert store.num_kernels == 1
+        assert store.num_matrices == 3
+
 
 class TestPipeline:
     def test_result_accounting(self, prepared_store, small_dataset):
