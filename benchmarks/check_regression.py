@@ -1,0 +1,107 @@
+"""CI regression gate for the loader-throughput benchmark.
+
+Compares a freshly generated ``BENCH_loaders.json`` against the committed
+baseline and exits non-zero when the optimized data path regressed:
+
+* any strategy whose batches are no longer bit-identical to the seed path;
+* a gated visible-assembly speedup more than ``--tolerance`` (default 20 %)
+  below its baseline.
+
+Gated speedups are the ones the benchmark itself asserts: the
+packed+prefetch speedup over the seed loader (fused and chunk strategies)
+and the multiprocess speedup over the single-thread prefetch path (fused).
+Because each speedup's denominator is a near-zero stall time, min-of-repeats
+values well above the acceptance target swing run-to-run; the baseline is
+therefore capped at the acceptance target before the tolerance is applied,
+so the gate protects the guarantee ("still comfortably above target")
+rather than chasing measurement noise.
+
+The gate is deliberately a *second*, independent enforcement layer on top
+of the benchmark's own asserts: acceptance targets and per-metric floors
+are read from the **committed baseline**, never from the fresh results, so
+a PR that quietly lowers ``SPEEDUP_TARGET``/``MP_VS_PREFETCH_TARGET`` (or
+deletes an assert) in ``test_loader_throughput.py`` still fails this step
+against the thresholds the repository last agreed to.  (When the benchmark
+aborts before writing fresh results — e.g. on a bit-identity failure — the
+pytest step has already failed the job; this gate covers the runs that
+*pass* a weakened benchmark.)
+
+Usage::
+
+    python benchmarks/check_regression.py --baseline BENCH_baseline.json \
+        --fresh BENCH_loaders.json [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: gated metrics: (strategy, result row, metric, acceptance-target key)
+GATES = (
+    ("fused", "packed_prefetch", "speedup_vs_seed", "speedup_target"),
+    ("chunk", "packed_prefetch", "speedup_vs_seed", "speedup_target"),
+    ("fused", "packed_mp", "speedup_vs_prefetch", "mp_vs_prefetch_target"),
+)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable gate failures (empty = pass)."""
+    failures: list[str] = []
+    for strategy, entry in baseline.get("results", {}).items():
+        got = fresh.get("results", {}).get(strategy)
+        if got is None:
+            failures.append(f"{strategy}: strategy missing from fresh results")
+            continue
+        if entry.get("bit_identical_to_seed") and not got.get("bit_identical_to_seed"):
+            failures.append(f"{strategy}: batches are no longer bit-identical to the seed path")
+    for strategy, row, metric, target_key in GATES:
+        base_value = baseline.get("results", {}).get(strategy, {}).get(row, {}).get(metric)
+        if base_value is None:  # baseline predates this metric; nothing to gate
+            continue
+        fresh_value = fresh.get("results", {}).get(strategy, {}).get(row, {}).get(metric)
+        if fresh_value is None:
+            failures.append(f"{strategy}.{row}.{metric}: missing from fresh results")
+            continue
+        target = baseline.get(target_key)
+        effective_base = min(base_value, target) if target else base_value
+        floor = effective_base * (1.0 - tolerance)
+        if fresh_value < floor:
+            failures.append(
+                f"{strategy}.{row}.{metric}: {fresh_value:.3f}x regressed more than "
+                f"{tolerance:.0%} below baseline {base_value:.3f}x "
+                f"(gated floor {floor:.3f}x)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True, help="committed BENCH_loaders.json")
+    parser.add_argument("--fresh", type=Path, required=True, help="freshly generated BENCH_loaders.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2, help="allowed fractional speedup regression"
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print("loader-throughput regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "loader-throughput regression gate passed "
+        f"({len(GATES)} speedup gates, tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

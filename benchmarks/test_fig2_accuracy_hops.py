@@ -1,6 +1,5 @@
 """Benchmark: regenerate Figure 2 (test accuracy vs hops/layers)."""
 
-import numpy as np
 from conftest import run_once
 
 from repro.experiments import fig2_accuracy_hops

@@ -7,13 +7,20 @@ the optimized data path of this repo:
 * ``packed_sync`` — single-kernel gathers from the packed ``(M, N, F)`` block
   into reused buffers, still synchronous;
 * ``packed_prefetch`` — the same assembly running on the background prefetch
-  pipeline, overlapped with a synthetic per-batch model compute.
+  pipeline, overlapped with a synthetic per-batch model compute;
+* ``packed_mp`` — assembly sharded across ``NUM_WORKERS`` worker processes
+  gathering from a shared-memory packed block into shared batch slots
+  (``repro.dataloading.workers.MultiProcessLoader``), so it neither shares
+  the GIL with the consumer's compute nor serializes on one producer thread.
 
 The figure of merit is the *visible* epoch-assembly time: the data-loading
 time the training loop actually waits on.  For synchronous loaders that is
-the full assembly time; under prefetching only the queue stalls remain.  The
-acceptance bar (ISSUE 1) is a >= 1.5x reduction for the fused and chunk
-strategies, with batches bit-identical to the seed path.
+the full assembly time; under prefetching or multi-process loading only the
+queue/result-wait stalls remain.  The acceptance bars: >= 1.5x visible
+reduction for packed+prefetch vs. the seed path (ISSUE 1) and >= 1.2x
+visible-assembly throughput for the multiprocess path over the single-thread
+prefetch path on the fused strategy (ISSUE 2), with batches bit-identical to
+the seed path in every mode.
 
 Methodology: every configuration gets one warm-up epoch (so one-time costs —
 packed-block construction, memmap opening, buffer-ring allocation — stay out
@@ -32,7 +39,7 @@ from pathlib import Path
 import numpy as np
 from conftest import run_once
 
-from repro.dataloading import PrefetchLoader, build_loader
+from repro.dataloading import MultiProcessLoader, PrefetchLoader, build_loader
 from repro.datasets.registry import load_dataset
 from repro.prepropagation.pipeline import PreprocessingPipeline
 from repro.prepropagation.propagator import PropagationConfig
@@ -48,6 +55,8 @@ EPOCHS = 2
 REPEATS = 3
 PREFETCH_DEPTH = 1
 SPEEDUP_TARGET = 1.5
+NUM_WORKERS = 2
+MP_VS_PREFETCH_TARGET = 1.2
 
 
 def _synthetic_compute(feature_dim: int):
@@ -65,40 +74,51 @@ def _synthetic_compute(feature_dim: int):
     return compute
 
 
-def _measure(make_loader, compute, prefetch: bool) -> dict:
-    """Min-of-``REPEATS`` visible-assembly and wall seconds per epoch."""
+def _measure(make_loader, compute, mode: str) -> dict:
+    """Min-of-``REPEATS`` visible-assembly and wall seconds per epoch.
+
+    ``mode`` selects the pipeline: ``"sync"`` iterates the loader inline,
+    ``"prefetch"`` wraps it in the background-thread pipeline, ``"mp"``
+    shards assembly across ``NUM_WORKERS`` processes.
+    """
     loader = make_loader()
-    if prefetch:
+    if mode == "prefetch":
         loader = PrefetchLoader(loader, depth=PREFETCH_DEPTH)
+    elif mode == "mp":
+        loader = MultiProcessLoader(loader, num_workers=NUM_WORKERS)
 
     def visible_seconds() -> float:
-        if prefetch:
+        if mode in ("prefetch", "mp"):
             return loader.stall_seconds()
         return loader.timing.buckets.get("batch_assembly", 0.0)
 
     def background_seconds() -> float:
-        # full assembly cost regardless of where it ran (producer thread or inline)
+        # full assembly cost regardless of where it ran (producer/worker or inline)
         return loader.timing.buckets.get("batch_assembly", 0.0)
 
-    for batch in loader.epoch():  # warm-up epoch (one-time costs, cache state)
-        compute(batch)
+    try:
+        for batch in loader.epoch():  # warm-up epoch (one-time costs, cache state)
+            compute(batch)
 
-    best = None
-    for _ in range(REPEATS):
-        visible_before = visible_seconds()
-        background_before = background_seconds()
-        wall_start = time.perf_counter()
-        for _ in range(EPOCHS):
-            for batch in loader.epoch():
-                compute(batch)
-        sample = {
-            "visible_assembly_seconds": (visible_seconds() - visible_before) / EPOCHS,
-            "background_assembly_seconds": (background_seconds() - background_before) / EPOCHS,
-            "wall_seconds": (time.perf_counter() - wall_start) / EPOCHS,
-        }
-        if best is None or sample["visible_assembly_seconds"] < best["visible_assembly_seconds"]:
-            best = sample
-    return best
+        best = None
+        for _ in range(REPEATS):
+            visible_before = visible_seconds()
+            background_before = background_seconds()
+            wall_start = time.perf_counter()
+            for _ in range(EPOCHS):
+                for batch in loader.epoch():
+                    compute(batch)
+            sample = {
+                "visible_assembly_seconds": (visible_seconds() - visible_before) / EPOCHS,
+                "background_assembly_seconds": (background_seconds() - background_before) / EPOCHS,
+                "wall_seconds": (time.perf_counter() - wall_start) / EPOCHS,
+            }
+            if best is None or sample["visible_assembly_seconds"] < best["visible_assembly_seconds"]:
+                best = sample
+        return best
+    finally:
+        if mode == "mp":
+            loader.close()
 
 
 def _assert_bit_identical(reference_loader, candidate_loader) -> None:
@@ -127,19 +147,24 @@ def _measure_strategy(strategy: str, store, labels, compute) -> dict:
             num_buffers=num_buffers, **common,
         )
 
-    seed_stats = _measure(seed_loader, compute, prefetch=False)
-    sync_stats = _measure(packed_loader, compute, prefetch=False)
+    seed_stats = _measure(seed_loader, compute, mode="sync")
+    sync_stats = _measure(packed_loader, compute, mode="sync")
     prefetch_stats = _measure(
-        lambda: packed_loader(num_buffers=PREFETCH_DEPTH + 2), compute, prefetch=True
+        lambda: packed_loader(num_buffers=PREFETCH_DEPTH + 2), compute, mode="prefetch"
     )
+    mp_stats = _measure(packed_loader, compute, mode="mp")
 
-    # bit-identical acceptance: packed+prefetched batches match the seed path
+    # bit-identical acceptance: packed+prefetched and multi-process batches
+    # both match the seed path
     _assert_bit_identical(
         seed_loader(),
         PrefetchLoader(packed_loader(num_buffers=PREFETCH_DEPTH + 2), depth=PREFETCH_DEPTH),
     )
+    with MultiProcessLoader(packed_loader(), num_workers=NUM_WORKERS) as mp_loader:
+        _assert_bit_identical(seed_loader(), mp_loader)
 
     seed_assembly = seed_stats["visible_assembly_seconds"]
+    prefetch_assembly = prefetch_stats["visible_assembly_seconds"]
     return {
         "seed": seed_stats,
         "packed_sync": {
@@ -148,8 +173,14 @@ def _measure_strategy(strategy: str, store, labels, compute) -> dict:
         },
         "packed_prefetch": {
             **prefetch_stats,
-            "speedup_vs_seed": seed_assembly
-            / max(prefetch_stats["visible_assembly_seconds"], 1e-12),
+            "speedup_vs_seed": seed_assembly / max(prefetch_assembly, 1e-12),
+        },
+        "packed_mp": {
+            **mp_stats,
+            "num_workers": NUM_WORKERS,
+            "speedup_vs_seed": seed_assembly / max(mp_stats["visible_assembly_seconds"], 1e-12),
+            "speedup_vs_prefetch": prefetch_assembly
+            / max(mp_stats["visible_assembly_seconds"], 1e-12),
         },
         "bit_identical_to_seed": True,
     }
@@ -166,10 +197,23 @@ def _run_suite() -> dict:
         strategy: _measure_strategy(strategy, store, labels, compute)
         for strategy in ("fused", "chunk")
     }
+
+    def _accepted(strategy: str) -> bool:
+        entry = results[strategy]
+        if entry["packed_prefetch"]["speedup_vs_seed"] < SPEEDUP_TARGET:
+            return False
+        if strategy == "fused" and (
+            entry["packed_mp"]["speedup_vs_prefetch"] < MP_VS_PREFETCH_TARGET
+        ):
+            return False
+        return True
+
     for strategy in ("fused", "chunk"):
-        # one retry before the acceptance assert: shared CI machines can hand
+        # retries before the acceptance assert: shared CI machines can hand
         # an entire measurement window to a noisy neighbour
-        if results[strategy]["packed_prefetch"]["speedup_vs_seed"] < SPEEDUP_TARGET:
+        for _ in range(2):
+            if _accepted(strategy):
+                break
             results[strategy] = _measure_strategy(strategy, store, labels, compute)
 
     # storage loader over the packed single-file layout (context, not acceptance)
@@ -192,6 +236,8 @@ def _run_suite() -> dict:
         "repeats": REPEATS,
         "prefetch_depth": PREFETCH_DEPTH,
         "speedup_target": SPEEDUP_TARGET,
+        "num_workers": NUM_WORKERS,
+        "mp_vs_prefetch_target": MP_VS_PREFETCH_TARGET,
         "metric": (
             "visible_assembly_seconds = per-epoch data-loading time on the training "
             "loop's critical path (full assembly for synchronous loaders, queue "
@@ -212,10 +258,17 @@ def test_loader_throughput(benchmark):
             f"{strategy}: packed+prefetch visible assembly only {speedup:.2f}x faster "
             f"than the seed loader (target {SPEEDUP_TARGET}x)"
         )
+    mp_speedup = report["results"]["fused"]["packed_mp"]["speedup_vs_prefetch"]
+    assert mp_speedup >= MP_VS_PREFETCH_TARGET, (
+        f"fused: {NUM_WORKERS}-worker visible assembly only {mp_speedup:.2f}x the "
+        f"single-thread prefetch path (target {MP_VS_PREFETCH_TARGET}x)"
+    )
     print(f"\nwrote {OUTPUT_PATH}")
     for strategy, entry in report["results"].items():
         print(
             f"{strategy:8s}  seed {entry['seed']['visible_assembly_seconds']:.4f}s/epoch  "
             f"packed_sync x{entry['packed_sync']['speedup_vs_seed']:.2f}  "
-            f"packed_prefetch x{entry['packed_prefetch']['speedup_vs_seed']:.2f}"
+            f"packed_prefetch x{entry['packed_prefetch']['speedup_vs_seed']:.2f}  "
+            f"packed_mp x{entry['packed_mp']['speedup_vs_seed']:.2f} "
+            f"(x{entry['packed_mp']['speedup_vs_prefetch']:.2f} vs prefetch)"
         )

@@ -1,13 +1,36 @@
-"""Pytest path bootstrap.
+"""Pytest path bootstrap and global resource guards.
 
 Makes ``import repro`` work even when the package has not been pip-installed
 (the offline reproduction environment lacks the ``wheel`` package needed for
-editable installs).
+editable installs), and fails any test that leaks a shared-memory segment.
 """
 
+import glob
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def _ppgnn_shm_entries() -> set:
+    # every segment the multi-process loading subsystem creates carries the
+    # ``ppgnn-`` prefix (repro.dataloading.shm.SHM_PREFIX)
+    return set(glob.glob("/dev/shm/ppgnn-*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shm_segments():
+    """Fail any test that leaves a ``ppgnn-*`` segment behind in ``/dev/shm``.
+
+    Segments outlive crashed processes, so a missed unlink silently eats host
+    memory across CI runs; this guard turns that into a test failure at the
+    offending test instead of an eventual out-of-memory elsewhere.
+    """
+    before = _ppgnn_shm_entries()
+    yield
+    leaked = _ppgnn_shm_entries() - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"

@@ -18,7 +18,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.dataloading import PPGNNCostModel, STRATEGY_PRESETS
+from repro.dataloading import PPGNNCostModel
 from repro.dataloading.cost_model import ModelComputeProfile
 from repro.dataloading.loaders import build_loader
 from repro.datasets import load_dataset

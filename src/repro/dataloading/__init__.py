@@ -9,6 +9,10 @@ Two complementary layers:
 * **Prefetching** (:mod:`~repro.dataloading.prefetch`) overlaps batch
   assembly with model compute through a background-thread, bounded-queue,
   double-buffered wrapper around any real loader.
+* **Multi-process sharding** (:mod:`~repro.dataloading.workers`,
+  :mod:`~repro.dataloading.shm`) scales assembly past one GIL: epoch
+  schedules are sharded round-robin across worker processes that gather from
+  a shared-memory packed block into a ring of shared batch slots.
 * **Cost models** (:mod:`~repro.dataloading.cost_model`,
   :mod:`~repro.dataloading.mpgnn_systems`) evaluate each strategy at *paper
   scale* on the simulated hardware, producing the epoch-time and throughput
@@ -29,6 +33,8 @@ from repro.dataloading.loaders import (
     build_loader,
 )
 from repro.dataloading.prefetch import PrefetchLoader
+from repro.dataloading.shm import SharedPackedStore, SlotRing
+from repro.dataloading.workers import MultiProcessLoader
 from repro.dataloading.cost_model import (
     EpochCost,
     LoaderStrategy,
@@ -54,6 +60,9 @@ __all__ = [
     "StorageLoader",
     "build_loader",
     "PrefetchLoader",
+    "MultiProcessLoader",
+    "SharedPackedStore",
+    "SlotRing",
     "LoaderStrategy",
     "ModelComputeProfile",
     "EpochCost",

@@ -15,7 +15,7 @@ the simulated hardware:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np

@@ -344,13 +344,22 @@ def build_loader(
     packed: Optional[bool] = None,
     reuse_buffers: bool = False,
     num_buffers: int = 2,
-) -> PPGNNLoader:
+    num_workers: int = 0,
+    keep: int = 2,
+) -> "PPGNNLoader | MultiProcessLoader":
     """Construct a loader by strategy name.
 
     ``baseline``/``fused`` use SGD-RR; ``chunk``/``storage`` use SGD-CR with
     ``chunk_size`` defaulting to the batch size.  ``packed``/``reuse_buffers``/
     ``num_buffers`` select the optimized assembly path (see module docstring);
     ``packed=None`` keeps each strategy's default.
+
+    ``num_workers > 0`` wraps the loader in a
+    :class:`~repro.dataloading.workers.MultiProcessLoader` that shards each
+    epoch's batch assembly round-robin across that many worker processes over
+    a shared-memory view of the packed block (``keep`` is its yielded-batch
+    valid window).  The wrapper owns OS resources — close it (or use it as a
+    context manager) when done.
     """
     key = strategy.lower()
     if key not in LOADER_CLASSES:
@@ -369,4 +378,11 @@ def build_loader(
     else:
         kwargs["method"] = "rr"
         kwargs["chunk_size"] = 1
-    return cls(store, labels, **kwargs)
+    if num_workers <= 0 and keep != 2:
+        raise ValueError("keep only applies to the multi-process path (num_workers > 0)")
+    loader = cls(store, labels, **kwargs)
+    if num_workers > 0:
+        from repro.dataloading.workers import MultiProcessLoader
+
+        return MultiProcessLoader(loader, num_workers=num_workers, keep=keep)
+    return loader

@@ -20,7 +20,7 @@ the feature-gather volume and the aggregation compute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 import numpy as np

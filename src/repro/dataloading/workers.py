@@ -1,0 +1,406 @@
+"""Multi-process epoch sharding: batch assembly beyond one GIL.
+
+:class:`~repro.dataloading.prefetch.PrefetchLoader` moves assembly off the
+training loop, but its single producer thread still shares the GIL with model
+compute.  :class:`MultiProcessLoader` removes that ceiling: each epoch's
+:class:`~repro.dataloading.batching.BatchSchedule` is sharded **round-robin**
+across ``num_workers`` OS processes (worker ``w`` assembles batches
+``w, w + K, w + 2K, ...``), which gather rows from the shared packed block
+(see :mod:`repro.dataloading.shm`) straight into a ring of shared-memory batch
+slots.  Only *slot indices* travel back over the result queue — feature
+arrays are never pickled in either direction.
+
+Guarantees:
+
+* **Deterministic order, bit-identical batches.** The parent draws the epoch
+  schedule from the wrapped loader's RNG (exactly as direct iteration would)
+  and yields batches strictly in schedule order, re-sequencing worker
+  completions by batch index; each batch's values are byte-for-byte what the
+  wrapped loader assembles.
+* **Bounded memory, zero-copy yields.** Yielded ``hop_features`` are views
+  into the slot ring.  Like a buffer-reusing loader's ring, a yielded batch
+  stays valid until ``keep - 1`` further batches have been yielded; the
+  loader advertises ``reuse_buffers=True`` / ``num_buffers == keep`` so
+  :class:`~repro.dataloading.prefetch.PrefetchLoader` composes on top with
+  its usual ring-size check.
+* **Robust teardown.** ``close()`` (or context-manager exit, or the
+  ``weakref.finalize``/atexit fallback) stops workers and unlinks every
+  shared segment; a worker that dies mid-epoch (crash, OOM-kill, SIGKILL)
+  surfaces as a ``RuntimeError`` on the consumer instead of a hang.
+
+Deadlock-freedom sketch: worker ``w`` owns ``keep + 1`` private slots, so the
+consumer's valid-window can pin at most ``keep`` of them while one remains
+for the batch being assembled; because each worker completes its shard in
+order and the consumer yields in global order, the batch the consumer waits
+for is always the owning worker's next completion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import signal
+import sys
+import time
+import traceback
+from collections import deque
+from typing import Iterator, List, Optional
+
+import numpy as np
+import weakref
+
+from repro.dataloading.loaders import PPGNNBatch, PPGNNLoader
+from repro.dataloading.shm import SharedPackedStore, SlotRing, attach_slots, attach_store
+from repro.utils.timer import TimeAccumulator
+
+__all__ = ["MultiProcessLoader"]
+
+#: how often blocked queue operations re-check the shutdown flag (seconds)
+_POLL_SECONDS = 0.05
+
+# result-queue message tags
+_BATCH = 0
+_ERROR = 1
+
+
+def _worker_main(
+    worker_id: int,
+    store_handle,
+    slot_handle,
+    task_queue,
+    result_queue,
+    free_queue,
+    stop_event,
+) -> None:
+    """Worker process body: attach shared state, assemble assigned batches."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # shutdown is the parent's call
+    store = attach_store(store_handle)
+    slot_attachment = attach_slots(slot_handle)
+    slots = slot_attachment.array
+    try:
+        while not stop_event.is_set():
+            try:
+                task = task_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            if task is None:
+                break
+            epoch_id, assignments = task
+            for batch_index, rows in assignments:
+                slot_id = None
+                while not stop_event.is_set():
+                    try:
+                        slot_id = free_queue.get(timeout=_POLL_SECONDS)
+                        break
+                    except queue.Empty:
+                        continue
+                if slot_id is None:
+                    return
+                began = time.perf_counter()
+                store.gather_into(rows, slots[slot_id, :, : rows.size])
+                elapsed = time.perf_counter() - began
+                result_queue.put(
+                    (_BATCH, worker_id, epoch_id, batch_index, slot_id, rows.size, elapsed)
+                )
+    except BaseException:
+        try:
+            result_queue.put((_ERROR, worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        store.close()
+        del slots
+        slot_attachment.close()
+
+
+def _teardown(stop_event, parent_queues, processes, shared_store, slot_ring) -> None:
+    """Stop workers and unlink shared segments (idempotent; also runs at exit)."""
+    stop_event.set()
+    task_queues = parent_queues[0]
+    for task_queue in task_queues:
+        try:
+            task_queue.put_nowait(None)
+        except Exception:
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+    for process in processes:
+        if process.is_alive():  # pragma: no cover - stuck worker
+            process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - unkillable worker
+            process.kill()
+            process.join(timeout=1.0)
+    for group in parent_queues:
+        for q in group:
+            q.cancel_join_thread()
+            q.close()
+    shared_store.close()
+    slot_ring.close()
+
+
+class MultiProcessLoader:
+    """Shard epoch batch assembly across ``num_workers`` processes.
+
+    Drop-in for a :class:`PPGNNLoader` wherever only ``epoch()`` iteration and
+    read-only metadata are needed (the same surface
+    :class:`~repro.dataloading.prefetch.PrefetchLoader` exposes, so the two
+    compose in either role).
+
+    Parameters
+    ----------
+    loader:
+        The wrapped single-process loader.  Only its schedule generation and
+        store/label metadata are used; assembly happens in the workers.
+    num_workers:
+        Number of assembly processes ``K >= 1``.
+    keep:
+        Valid-window of yielded batches (the ``num_buffers`` analogue): a
+        yielded batch's ``hop_features`` views stay intact until ``keep - 1``
+        further batches have been yielded.  ``PrefetchLoader`` on top needs
+        ``keep >= depth + 2``.
+    timeout_seconds:
+        Upper bound on waiting for any single batch before declaring the
+        worker pool wedged (surfaces as ``RuntimeError`` instead of a hang).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork`` (cheap,
+        shares the parent's imports) and falls back to ``spawn``.
+    """
+
+    def __init__(
+        self,
+        loader: PPGNNLoader,
+        num_workers: int = 2,
+        keep: int = 2,
+        timeout_seconds: float = 60.0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if not hasattr(loader, "epoch_schedule"):
+            # e.g. an already-wrapped MultiProcessLoader or PrefetchLoader:
+            # fail here rather than with an opaque AttributeError mid-epoch
+            # (after a second worker pool has been spawned)
+            raise TypeError(
+                f"MultiProcessLoader requires a schedule-generating loader, got "
+                f"{type(loader).__name__}; wrapping an already-wrapped pipeline is not supported"
+            )
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if keep < 2:
+            raise ValueError("keep must be >= 2 (current batch + one look-back)")
+        if timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        self.loader = loader
+        self.num_workers = num_workers
+        self.keep = keep
+        self.timeout_seconds = timeout_seconds
+        self.timing = TimeAccumulator()
+        #: worker-side per-batch assembly seconds for the last epoch
+        self.assembly_times: List[float] = []
+        #: consumer-side per-batch result-wait seconds for the last epoch
+        self.wait_times: List[float] = []
+        self._epoch_id = 0
+        self._closed = False
+
+        if start_method is None:
+            # fork is near-free and shares the parent's imports, but is only
+            # safe on Linux: macOS lists it too, yet forking without exec
+            # crashes Accelerate-backed NumPy in the children
+            start_method = (
+                "fork"
+                if sys.platform == "linux" and "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = mp.get_context(start_method)
+
+        store = loader.store
+        self._shared_store = SharedPackedStore(store)
+        self._slots_per_worker = keep + 1
+        self._slot_ring = SlotRing(
+            num_slots=num_workers * self._slots_per_worker,
+            num_matrices=store.num_matrices,
+            batch_size=loader.batch_size,
+            feature_dim=store.feature_dim,
+            dtype=store.dtype,
+        )
+        self._stop = ctx.Event()
+        self._result_queue = ctx.Queue()
+        self._task_queues = [ctx.Queue() for _ in range(num_workers)]
+        self._free_queues = [ctx.Queue() for _ in range(num_workers)]
+        for worker_id, free_queue in enumerate(self._free_queues):
+            for slot in range(
+                worker_id * self._slots_per_worker, (worker_id + 1) * self._slots_per_worker
+            ):
+                free_queue.put(slot)
+        self._processes = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self._shared_store.handle,
+                    self._slot_ring.handle,
+                    self._task_queues[worker_id],
+                    self._result_queue,
+                    self._free_queues[worker_id],
+                    self._stop,
+                ),
+                name=f"ppgnn-loader-{worker_id}",
+                daemon=True,
+            )
+            for worker_id in range(num_workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._finalizer = weakref.finalize(
+            self,
+            _teardown,
+            self._stop,
+            (self._task_queues, self._free_queues, [self._result_queue]),
+            self._processes,
+            self._shared_store,
+            self._slot_ring,
+        )
+
+    # ------------------------------------------------------------------ #
+    # read-only passthroughs so trainer and PrefetchLoader treat this as a loader
+    @property
+    def store(self):
+        return self.loader.store
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.loader.labels
+
+    @property
+    def batch_size(self) -> int:
+        return self.loader.batch_size
+
+    @property
+    def strategy_name(self) -> str:
+        return f"{self.loader.strategy_name}+mp{self.num_workers}"
+
+    #: yielded batches alias the shared slot ring — advertise the same
+    #: valid-window contract as a buffer-reusing loader so PrefetchLoader's
+    #: depth check applies unchanged
+    @property
+    def reuse_buffers(self) -> bool:
+        return True
+
+    @property
+    def num_buffers(self) -> int:
+        return self.keep
+
+    def num_batches(self) -> int:
+        return self.loader.num_batches()
+
+    def stall_seconds(self) -> float:
+        """Total time the consumer has spent waiting on worker results."""
+        return self.timing.buckets.get("mp_wait", 0.0)
+
+    # ------------------------------------------------------------------ #
+    def _release(self, slot_id: int) -> None:
+        if self._closed:
+            return  # teardown already closed the queues and unlinked the slots
+        try:
+            self._free_queues[slot_id // self._slots_per_worker].put(slot_id)
+        except ValueError:  # raced with close(): nothing left to recycle into
+            pass
+
+    def _check_workers(self) -> None:
+        for process in self._processes:
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"loader worker {process.name} died with exit code {process.exitcode} "
+                    "mid-epoch; batch assembly cannot continue"
+                )
+
+    def _next_result(self):
+        """Pop one result message; surface dead workers instead of hanging."""
+        deadline = time.monotonic() + self.timeout_seconds
+        while True:
+            try:
+                return self._result_queue.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._check_workers()
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"timed out after {self.timeout_seconds}s waiting for a batch "
+                        "from the loader workers"
+                    )
+
+    def _drain_stale(self) -> None:
+        """Recycle slots of results left over from an abandoned epoch."""
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue.Empty:
+                return
+            if message[0] == _BATCH:
+                self._release(message[4])
+
+    def epoch(self) -> Iterator[PPGNNBatch]:
+        """Yield one epoch of batches, assembled by the worker pool in order."""
+        if self._closed:
+            raise RuntimeError("MultiProcessLoader is closed")
+        schedule = self.loader.epoch_schedule()
+        batches = schedule.batches
+        self._epoch_id += 1
+        epoch_id = self._epoch_id
+        self.assembly_times = []
+        self.wait_times = []
+        self._drain_stale()
+        for worker_id, task_queue in enumerate(self._task_queues):
+            shard = [(i, batches[i]) for i in range(worker_id, len(batches), self.num_workers)]
+            task_queue.put((epoch_id, shard))
+        pending: dict[int, tuple[int, int]] = {}
+        holds: deque[int] = deque()
+        try:
+            for index in range(len(batches)):
+                began = time.perf_counter()
+                while index not in pending:
+                    message = self._next_result()
+                    if message[0] == _ERROR:
+                        _, worker_id, worker_traceback = message
+                        raise RuntimeError(
+                            f"loader worker {worker_id} raised during batch assembly:\n"
+                            f"{worker_traceback}"
+                        )
+                    _, _, result_epoch, batch_index, slot_id, num_rows, elapsed = message
+                    if result_epoch != epoch_id:  # abandoned-epoch leftover
+                        self._release(slot_id)
+                        continue
+                    pending[batch_index] = (slot_id, num_rows)
+                    self.assembly_times.append(elapsed)
+                    self.timing.add("batch_assembly", elapsed)
+                waited = time.perf_counter() - began
+                self.wait_times.append(waited)
+                self.timing.add("mp_wait", waited)
+                slot_id, num_rows = pending.pop(index)
+                holds.append(slot_id)
+                while len(holds) > self.keep:
+                    self._release(holds.popleft())
+                rows = batches[index]
+                block = self._slot_ring.slots[slot_id, :, :num_rows]
+                yield PPGNNBatch(
+                    row_indices=rows, hop_features=list(block), labels=self.labels[rows]
+                )
+        finally:
+            # early break / exception: recycle every slot we still account for;
+            # results still in flight are tagged with this (now stale) epoch id
+            # and recycled by the next epoch's drain or by close()
+            for slot_id, _ in pending.values():
+                self._release(slot_id)
+            for slot_id in holds:
+                self._release(slot_id)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers and unlink all shared-memory segments (idempotent)."""
+        self._closed = True
+        if self._finalizer.alive:
+            self._finalizer()
+
+    def __enter__(self) -> "MultiProcessLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

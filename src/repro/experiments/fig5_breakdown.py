@@ -26,13 +26,23 @@ from repro.training.loop import PPGNNTrainer, TrainerConfig
 
 
 def _measure_prefetch_overlap(
-    prepared, model_name: str, hops: int, num_epochs: int, batch_size: int, seed: int
+    prepared,
+    model_name: str,
+    hops: int,
+    num_epochs: int,
+    batch_size: int,
+    seed: int,
+    num_workers: int = 0,
 ) -> tuple[float, float]:
-    """Train with the packed fused loader behind the prefetch pipeline.
+    """Train with the packed fused loader behind the async loading pipeline.
 
-    Returns ``(overlap_speedup, stall_fraction)``: the recorded
-    serial-vs-pipelined epoch-time ratio and the share of assembly time that
-    remained visible to the training loop as queue stalls.
+    ``num_workers > 0`` shards assembly across worker processes (shared
+    memory) underneath the prefetch thread.  Returns ``(overlap_speedup,
+    stall_fraction)``: the recorded serial-vs-pipelined epoch-time ratio and
+    the visible queue-stall time as a fraction of the true assembly time
+    (worker-side when sharded).  On tiny replicas the fraction can exceed
+    1.0 — per-batch IPC overhead then outweighs the raw assembly work, which
+    is exactly the regime where multi-process loading does not pay.
     """
     model = build_pp_model(
         model_name,
@@ -52,12 +62,19 @@ def _measure_prefetch_overlap(
         seed=seed,
         prefetch=True,
         prefetch_depth=depth,
+        num_workers=num_workers,
     )
     trainer = PPGNNTrainer(model, loader, prepared.dataset, config)
-    trainer.fit()
+    try:
+        trainer.fit()
+    finally:
+        trainer.close()
     speedups = [r.overlap_speedup for r in trainer.pipeline_results]
     overlap = float(sum(speedups) / len(speedups)) if speedups else float("nan")
-    assembled = trainer._prefetcher.timing.buckets.get("batch_assembly", 0.0)
+    # real assembly time lives wherever assembly ran: the worker pool when
+    # sharded, otherwise the prefetch producer thread
+    assembler = trainer._mp_loader if trainer._mp_loader is not None else trainer._prefetcher
+    assembled = assembler.timing.buckets.get("batch_assembly", 0.0)
     stalled = trainer._prefetcher.stall_seconds()
     stall_fraction = stalled / assembled if assembled > 0 else float("nan")
     return overlap, stall_fraction
@@ -72,6 +89,7 @@ def run(
     batch_size: int = 512,
     seed: int = 0,
     measure_overlap: bool = True,
+    num_workers: int = 0,
 ) -> dict:
     prepared = prepare_pp_data(dataset, hops=hops, num_nodes=num_nodes or QUICK_NODE_COUNTS[dataset], seed=seed)
     info = PAPER_DATASETS[dataset]
@@ -95,7 +113,7 @@ def run(
         fractions = measured.fractions()
         if measure_overlap:
             overlap_speedup, stall_fraction = _measure_prefetch_overlap(
-                prepared, model_name, hops, num_epochs, batch_size, seed
+                prepared, model_name, hops, num_epochs, batch_size, seed, num_workers=num_workers
             )
         else:
             overlap_speedup, stall_fraction = float("nan"), float("nan")

@@ -5,9 +5,10 @@ reports the validation curves and final test accuracy.  The paper finds the
 accuracy impact of chunk reshuffling is below ~0.5 %.
 
 ``prefetch=True`` trains every configuration behind the async prefetch
-pipeline instead of the synchronous loader; because prefetched batches are
-bit-identical to the synchronous ones, the accuracy columns are unchanged and
-only the epoch walltime improves.
+pipeline instead of the synchronous loader; ``num_workers > 0`` additionally
+shards batch assembly across worker processes over shared memory.  Because
+both pipelines yield batches bit-identical to the synchronous loader, the
+accuracy columns are unchanged and only the epoch walltime improves.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ def run(
     batch_size: int = 256,
     seed: int = 0,
     prefetch: bool = False,
+    num_workers: int = 0,
 ) -> dict:
     prepared = prepare_pp_data(dataset, hops=hops, num_nodes=num_nodes or QUICK_NODE_COUNTS[dataset], seed=seed)
     rows = []
@@ -42,6 +44,7 @@ def run(
             chunk_size=chunk_size if chunk_size > 1 else None,
             seed=seed,
             prefetch=prefetch,
+            num_workers=num_workers,
         )
         test_acc = history.test_accuracy_at_best()
         if chunk_size <= 1:

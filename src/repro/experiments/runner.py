@@ -24,9 +24,9 @@ logger = get_logger("experiments.runner")
 QUICK_OVERRIDES = {
     "fig2_accuracy_hops": {"hop_range": (2, 3), "num_epochs": 6, "num_nodes": 3000, "datasets": ("products", "pokec")},
     "fig3_convergence": {"num_epochs": 8, "num_nodes": 3000, "datasets": ("products",)},
-    "fig5_breakdown": {"num_nodes": 2000, "num_epochs": 1},
+    "fig5_breakdown": {"num_nodes": 2000, "num_epochs": 1, "num_workers": 2},
     "fig7_pareto": {"hop_range": (2,), "num_epochs": 6, "num_nodes": 3000},
-    "fig8_chunk_reshuffle": {"num_epochs": 8, "num_nodes": 3000, "chunk_sizes": (1, 128)},
+    "fig8_chunk_reshuffle": {"num_epochs": 8, "num_nodes": 3000, "chunk_sizes": (1, 128), "num_workers": 2},
     "fig13_convergence_large": {"hops_list": (2,), "num_epochs": 8, "num_nodes": 4000},
     "tab2_datasets": {"num_nodes": 3000},
     "tab3_papers100m": {"hops_list": (2,), "num_epochs": 6, "num_nodes": 4000},

@@ -13,10 +13,8 @@ the paper's accuracy trends:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graph.builders import from_edge_index, symmetrize
 from repro.graph.csr import CSRGraph

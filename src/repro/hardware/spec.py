@@ -10,7 +10,7 @@ the exact values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 GB = 1024**3
 

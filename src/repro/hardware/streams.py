@@ -9,7 +9,7 @@ critical path through that two-stage pipeline rather than the serial sum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 
 def serial_time(load_times: Sequence[float], compute_times: Sequence[float]) -> float:

@@ -9,10 +9,8 @@ Section 3.5 / Table 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.graph.csr import CSRGraph
 from repro.graph.operators import build_operator

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict
 
 from repro.sampling.base import Sampler
 from repro.sampling.graphsaint import GraphSaintNodeSampler

@@ -12,7 +12,6 @@ from typing import Optional
 
 import numpy as np
 
-from repro.tensor import functional as F
 from repro.tensor.module import Dropout, Linear, Module
 from repro.tensor.tensor import Tensor
 from repro.utils.rng import SeedLike, new_rng

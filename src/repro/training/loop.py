@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.dataloading.loaders import PPGNNLoader
 from repro.dataloading.prefetch import PrefetchLoader
+from repro.dataloading.workers import MultiProcessLoader
 from repro.hardware.streams import PipelineResult, overlap_from_recorded
 from repro.datasets.synthetic import NodeClassificationDataset
 from repro.models.base import MPGNNModel, PPGNNModel
@@ -26,7 +27,7 @@ from repro.tensor.optim import Adam, Optimizer, SGD
 from repro.tensor.tensor import Tensor, no_grad
 from repro.training.metrics import EpochRecord, TrainingHistory
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import new_rng
 from repro.utils.timer import TimeAccumulator, Timer
 
 logger = get_logger("training.loop")
@@ -49,6 +50,10 @@ class TrainerConfig:
     prefetch: bool = False
     #: bounded-queue capacity of the prefetch pipeline (1 = double buffering)
     prefetch_depth: int = 1
+    #: shard batch assembly across this many worker processes (0 = in-process);
+    #: composes with ``prefetch`` — workers assemble into shared-memory slots
+    #: while the prefetch thread keeps the hand-off off the critical path
+    num_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.num_epochs <= 0:
@@ -59,6 +64,8 @@ class TrainerConfig:
             raise ValueError("optimizer must be 'adam' or 'sgd'")
         if self.prefetch_depth <= 0:
             raise ValueError("prefetch_depth must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
 
     def build_optimizer(self, params) -> Optimizer:
         if self.optimizer == "adam":
@@ -90,9 +97,21 @@ class PPGNNTrainer:
         self.timing = TimeAccumulator()
         #: per-epoch serial-vs-pipelined overlap accounting (prefetch mode only)
         self.pipeline_results: List[PipelineResult] = []
+        # loading pipeline: loader -> [MultiProcessLoader] -> [PrefetchLoader];
+        # with workers the prefetch queue holds slot-ring views, so the keep
+        # window must cover depth queued + one consumed + one in flight
+        self._mp_loader: Optional[MultiProcessLoader] = None
+        source = loader
+        if config.num_workers > 0:
+            keep = config.prefetch_depth + 2 if config.prefetch else 2
+            self._mp_loader = MultiProcessLoader(
+                loader, num_workers=config.num_workers, keep=keep
+            )
+            source = self._mp_loader
         self._prefetcher: Optional[PrefetchLoader] = (
-            PrefetchLoader(loader, depth=config.prefetch_depth) if config.prefetch else None
+            PrefetchLoader(source, depth=config.prefetch_depth) if config.prefetch else None
         )
+        self._source = self._prefetcher if self._prefetcher is not None else source
 
         store = loader.store
         # vectorized node-id -> store-row inverse index (no per-node dict lookups)
@@ -147,7 +166,7 @@ class PPGNNTrainer:
         """
         self.model.train()
         losses = []
-        source = self._prefetcher if self._prefetcher is not None else self.loader
+        source = self._source
         compute_times: List[float] = []
         epoch_began = time.perf_counter()
         for batch in source.epoch():
@@ -164,10 +183,17 @@ class PPGNNTrainer:
             losses.append(loss.item())
         if self._prefetcher is not None and compute_times:
             # measured wall time of the batch loop, so the recorded speedup is
-            # the overlap actually achieved rather than the ideal pipeline bound
+            # the overlap actually achieved rather than the ideal pipeline bound.
+            # With workers underneath, the prefetcher's per-batch times are mere
+            # queue hand-offs; the real assembly happened in the worker pool.
+            assembly_times = (
+                self._mp_loader.assembly_times
+                if self._mp_loader is not None
+                else self._prefetcher.assembly_times
+            )
             self.pipeline_results.append(
                 overlap_from_recorded(
-                    self._prefetcher.assembly_times,
+                    assembly_times,
                     compute_times,
                     measured_seconds=time.perf_counter() - epoch_began,
                 )
@@ -178,11 +204,24 @@ class PPGNNTrainer:
         """Data-loading time visible to the training loop so far.
 
         Synchronous loaders pay full assembly time on the critical path;
-        under prefetching only the queue-wait stalls remain visible.
+        under prefetching or multi-process loading only the queue/result
+        stalls remain visible.
         """
-        if self._prefetcher is not None:
-            return self._prefetcher.stall_seconds()
-        return self.loader.timing.buckets.get("batch_assembly", 0.0)
+        if hasattr(self._source, "stall_seconds"):
+            return self._source.stall_seconds()
+        return self._source.timing.buckets.get("batch_assembly", 0.0)
+
+    def close(self) -> None:
+        """Release loading-pipeline resources (worker processes, shm segments).
+
+        Only needed when ``config.num_workers > 0``; safe to call always and
+        idempotent.  After closing, further ``fit()`` calls on a multi-process
+        pipeline raise.
+        """
+        if self._mp_loader is not None:
+            self._mp_loader.close()
+        if isinstance(self.loader, MultiProcessLoader):
+            self.loader.close()
 
     def fit(self) -> TrainingHistory:
         """Train for ``config.num_epochs`` epochs with periodic evaluation."""

@@ -1,6 +1,5 @@
 """Tests for the analytical reproductions: Table 1, Appendix I, Table 7, Pareto."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

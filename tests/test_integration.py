@@ -1,6 +1,5 @@
 """End-to-end integration tests: preprocess → auto-configure → train → evaluate."""
 
-import numpy as np
 import pytest
 
 from repro.autoconfig import AutoConfigurator

@@ -6,7 +6,7 @@ import pytest
 from repro.models import GAT, GraphSAGE, HOGA, SGC, SIGN, build_mp_model, build_pp_model
 from repro.models.registry import MP_MODELS, PP_MODELS, is_pp_model
 from repro.sampling import LaborSampler, NeighborSampler
-from repro.tensor import Adam, Tensor, cross_entropy, no_grad
+from repro.tensor import Adam, cross_entropy, no_grad
 from repro.tensor.losses import accuracy
 from repro.utils.rng import new_rng
 

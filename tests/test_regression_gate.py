@@ -1,0 +1,124 @@
+"""Unit tests for the loader-throughput CI regression gate.
+
+The gate script lives in ``benchmarks/`` (not an importable package), so it
+is loaded by file path; the tests drive both the ``compare`` core and the
+CLI entry point, including the acceptance requirement that an artificially
+degraded result exits non-zero.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+@pytest.fixture()
+def baseline() -> dict:
+    return {
+        "speedup_target": 1.5,
+        "mp_vs_prefetch_target": 1.2,
+        "results": {
+            "fused": {
+                "packed_prefetch": {"speedup_vs_seed": 2.3},
+                "packed_mp": {"speedup_vs_seed": 3.0, "speedup_vs_prefetch": 1.3},
+                "bit_identical_to_seed": True,
+            },
+            "chunk": {
+                "packed_prefetch": {"speedup_vs_seed": 6.8},
+                "packed_mp": {"speedup_vs_seed": 1.8, "speedup_vs_prefetch": 0.4},
+                "bit_identical_to_seed": True,
+            },
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_results_pass(self, baseline):
+        assert check_regression.compare(baseline, copy.deepcopy(baseline), 0.2) == []
+
+    def test_noise_above_target_passes(self, baseline):
+        # chunk's baseline prefetch speedup (6.8x) is far above the 1.5x
+        # target; dropping to 4.5x is measurement noise, not a regression
+        fresh = copy.deepcopy(baseline)
+        fresh["results"]["chunk"]["packed_prefetch"]["speedup_vs_seed"] = 4.5
+        assert check_regression.compare(baseline, fresh, 0.2) == []
+
+    def test_degraded_speedup_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["results"]["fused"]["packed_prefetch"]["speedup_vs_seed"] = 1.0
+        failures = check_regression.compare(baseline, fresh, 0.2)
+        assert any("fused.packed_prefetch.speedup_vs_seed" in f for f in failures)
+
+    def test_degraded_mp_speedup_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["results"]["fused"]["packed_mp"]["speedup_vs_prefetch"] = 0.5
+        failures = check_regression.compare(baseline, fresh, 0.2)
+        assert any("fused.packed_mp.speedup_vs_prefetch" in f for f in failures)
+
+    def test_lost_bit_identity_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        fresh["results"]["chunk"]["bit_identical_to_seed"] = False
+        failures = check_regression.compare(baseline, fresh, 0.2)
+        assert any("bit-identical" in f for f in failures)
+
+    def test_missing_strategy_fails(self, baseline):
+        fresh = copy.deepcopy(baseline)
+        del fresh["results"]["chunk"]
+        failures = check_regression.compare(baseline, fresh, 0.2)
+        assert any("chunk" in f for f in failures)
+
+    def test_baseline_without_metric_is_not_gated(self, baseline):
+        # older baselines predate packed_mp; the gate must not demand it
+        legacy = copy.deepcopy(baseline)
+        for entry in legacy["results"].values():
+            del entry["packed_mp"]
+        fresh = copy.deepcopy(baseline)
+        fresh["results"]["fused"]["packed_mp"]["speedup_vs_prefetch"] = 0.1
+        assert check_regression.compare(legacy, fresh, 0.2) == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, payload) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_exit_zero_on_pass(self, baseline, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", baseline)
+        fresh = self._write(tmp_path, "fresh.json", baseline)
+        code = check_regression.main(["--baseline", str(base), "--fresh", str(fresh)])
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_degraded_result(self, baseline, tmp_path, capsys):
+        degraded = copy.deepcopy(baseline)
+        degraded["results"]["fused"]["packed_prefetch"]["speedup_vs_seed"] = 1.0
+        degraded["results"]["fused"]["bit_identical_to_seed"] = False
+        base = self._write(tmp_path, "base.json", baseline)
+        fresh = self._write(tmp_path, "fresh.json", degraded)
+        code = check_regression.main(["--baseline", str(base), "--fresh", str(fresh)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "bit-identical" in out
+
+    def test_real_committed_baseline_passes_against_itself(self):
+        committed = Path(__file__).parent.parent / "BENCH_loaders.json"
+        payload = json.loads(committed.read_text())
+        assert check_regression.compare(payload, copy.deepcopy(payload), 0.2) == []
+
+    def test_rejects_bad_tolerance(self, baseline, tmp_path):
+        base = self._write(tmp_path, "base.json", baseline)
+        with pytest.raises(SystemExit):
+            check_regression.main(
+                ["--baseline", str(base), "--fresh", str(base), "--tolerance", "1.5"]
+            )

@@ -22,7 +22,7 @@ from repro.tensor import (
 )
 from repro.tensor.attention import HopAttentionBlock
 from repro.tensor.losses import accuracy, binary_cross_entropy_with_logits
-from repro.tensor.module import PReLU, ReLU
+from repro.tensor.module import PReLU
 
 
 class TestLinear:
