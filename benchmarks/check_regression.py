@@ -1,35 +1,36 @@
-"""CI regression gate for the loader-throughput benchmark.
+"""CI regression gates for the committed benchmark baselines.
 
-Compares a freshly generated ``BENCH_loaders.json`` against the committed
-baseline and exits non-zero when the optimized data path regressed:
+Compares a freshly generated benchmark report against the committed baseline
+and exits non-zero when the optimized path regressed.  Two gate sets,
+selected with ``--kind``:
 
-* any strategy whose batches are no longer bit-identical to the seed path;
-* a gated visible-assembly speedup more than ``--tolerance`` (default 20 %)
-  below its baseline.
+* ``loaders`` (default) — the loader-throughput benchmark
+  (``BENCH_loaders.json``): any strategy whose batches are no longer
+  bit-identical to the seed path, or a gated visible-assembly speedup more
+  than ``--tolerance`` below its baseline.
+* ``preprocessing`` — the preprocessing benchmark
+  (``BENCH_preprocessing.json``): the blocked engine's peak-memory reduction
+  over the in-core path dropping more than ``--tolerance`` below baseline,
+  or its wall-time ratio inflating more than ``--tolerance`` above baseline.
 
-Gated speedups are the ones the benchmark itself asserts: the
-packed+prefetch speedup over the seed loader (fused and chunk strategies)
-and the multiprocess speedup over the single-thread prefetch path (fused).
-Because each speedup's denominator is a near-zero stall time, min-of-repeats
-values well above the acceptance target swing run-to-run; the baseline is
-therefore capped at the acceptance target before the tolerance is applied,
-so the gate protects the guarantee ("still comfortably above target")
-rather than chasing measurement noise.
+Because each gated metric's baseline can sit far beyond its acceptance
+target out of measurement luck, the baseline is capped at the acceptance
+target before the tolerance is applied: the gate protects the guarantee
+("still comfortably above target"), not run-to-run noise.
 
 The gate is deliberately a *second*, independent enforcement layer on top
-of the benchmark's own asserts: acceptance targets and per-metric floors
+of the benchmarks' own asserts: acceptance targets and per-metric floors
 are read from the **committed baseline**, never from the fresh results, so
-a PR that quietly lowers ``SPEEDUP_TARGET``/``MP_VS_PREFETCH_TARGET`` (or
-deletes an assert) in ``test_loader_throughput.py`` still fails this step
-against the thresholds the repository last agreed to.  (When the benchmark
-aborts before writing fresh results — e.g. on a bit-identity failure — the
-pytest step has already failed the job; this gate covers the runs that
-*pass* a weakened benchmark.)
+a PR that quietly lowers a target (or deletes an assert) in the benchmark
+file still fails this step against the thresholds the repository last
+agreed to.  (When the benchmark aborts before writing fresh results — e.g.
+on a bit-identity failure — the pytest step has already failed the job;
+this gate covers the runs that *pass* a weakened benchmark.)
 
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_baseline.json \
-        --fresh BENCH_loaders.json [--tolerance 0.2]
+        --fresh BENCH_loaders.json [--tolerance 0.2] [--kind loaders]
 """
 
 from __future__ import annotations
@@ -39,16 +40,24 @@ import json
 import sys
 from pathlib import Path
 
-#: gated metrics: (strategy, result row, metric, acceptance-target key)
+#: loader gates: (strategy, result row, metric, acceptance-target key)
 GATES = (
     ("fused", "packed_prefetch", "speedup_vs_seed", "speedup_target"),
     ("chunk", "packed_prefetch", "speedup_vs_seed", "speedup_target"),
     ("fused", "packed_mp", "speedup_vs_prefetch", "mp_vs_prefetch_target"),
 )
 
+#: preprocessing gates: (result row, metric, acceptance-target key, direction)
+#: direction "min" = larger is better (floor below), "max" = smaller is
+#: better (ceiling above)
+PREPROCESSING_GATES = (
+    ("blocked", "mem_reduction_vs_in_core", "mem_reduction_target", "min"),
+    ("blocked", "wall_ratio_vs_in_core", "wall_ratio_limit", "max"),
+)
+
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
-    """Return a list of human-readable gate failures (empty = pass)."""
+    """Loader-throughput gate: return human-readable failures (empty = pass)."""
     failures: list[str] = []
     for strategy, entry in baseline.get("results", {}).items():
         got = fresh.get("results", {}).get(strategy)
@@ -77,12 +86,54 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_preprocessing(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Preprocessing gate: memory reduction must hold, wall ratio must not inflate."""
+    failures: list[str] = []
+    for row, metric, target_key, direction in PREPROCESSING_GATES:
+        base_value = baseline.get("results", {}).get(row, {}).get(metric)
+        if base_value is None:  # baseline predates this metric; nothing to gate
+            continue
+        fresh_value = fresh.get("results", {}).get(row, {}).get(metric)
+        if fresh_value is None:
+            failures.append(f"{row}.{metric}: missing from fresh results")
+            continue
+        target = baseline.get(target_key)
+        if direction == "min":
+            effective_base = min(base_value, target) if target else base_value
+            floor = effective_base * (1.0 - tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    f"{row}.{metric}: {fresh_value:.3f} regressed more than "
+                    f"{tolerance:.0%} below baseline {base_value:.3f} "
+                    f"(gated floor {floor:.3f})"
+                )
+        else:
+            effective_base = max(base_value, target) if target else base_value
+            ceiling = effective_base * (1.0 + tolerance)
+            if fresh_value > ceiling:
+                failures.append(
+                    f"{row}.{metric}: {fresh_value:.3f} inflated more than "
+                    f"{tolerance:.0%} above baseline {base_value:.3f} "
+                    f"(gated ceiling {ceiling:.3f})"
+                )
+    return failures
+
+
+_COMPARATORS = {"loaders": compare, "preprocessing": compare_preprocessing}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", type=Path, required=True, help="committed BENCH_loaders.json")
-    parser.add_argument("--fresh", type=Path, required=True, help="freshly generated BENCH_loaders.json")
+    parser.add_argument("--baseline", type=Path, required=True, help="committed benchmark JSON")
+    parser.add_argument("--fresh", type=Path, required=True, help="freshly generated benchmark JSON")
     parser.add_argument(
-        "--tolerance", type=float, default=0.2, help="allowed fractional speedup regression"
+        "--tolerance", type=float, default=0.2, help="allowed fractional metric regression"
+    )
+    parser.add_argument(
+        "--kind",
+        choices=sorted(_COMPARATORS),
+        default="loaders",
+        help="which benchmark's gate set to apply",
     )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
@@ -90,16 +141,13 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     fresh = json.loads(args.fresh.read_text())
-    failures = compare(baseline, fresh, args.tolerance)
+    failures = _COMPARATORS[args.kind](baseline, fresh, args.tolerance)
     if failures:
-        print("loader-throughput regression gate FAILED:")
+        print(f"{args.kind} regression gate FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(
-        "loader-throughput regression gate passed "
-        f"({len(GATES)} speedup gates, tolerance {args.tolerance:.0%})"
-    )
+    print(f"{args.kind} regression gate passed (tolerance {args.tolerance:.0%})")
     return 0
 
 

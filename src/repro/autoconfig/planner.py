@@ -16,11 +16,118 @@ from repro.autoconfig.policy import DataPlacementPolicy, PlacementDecision
 from repro.autoconfig.probe import MemoryProbe, ProbeResult
 from repro.dataloading.cost_model import ModelComputeProfile, PPGNNCostModel
 from repro.datasets.catalog import PaperDatasetInfo
+from repro.hardware.memory import MemoryDevice
 from repro.hardware.spec import HardwareSpec
 from repro.training.multi_gpu import MultiGpuSimulator
 from repro.utils.logging import get_logger
 
 logger = get_logger("autoconfig.planner")
+
+#: default scratch budget for blocked propagation when neither an explicit
+#: byte budget nor a host :class:`MemoryDevice` is supplied (256 MiB — small
+#: enough to matter on laptops, large enough that medium replicas run in a
+#: handful of blocks)
+DEFAULT_PROPAGATION_BUDGET_BYTES = 256 * 1024**2
+
+#: resident copies of one block a blocked-propagation lane holds at once:
+#: the SpMM output, the storage-dtype cast and the labeled-row gather
+_BLOCK_RESIDENCY_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class PropagationBlockPlan:
+    """Row-tiling decision for the blocked pre-propagation engine.
+
+    ``block_size`` rows per tile, ``num_blocks`` tiles over the graph, and
+    ``scratch_bytes`` — the estimated peak *resident* working set across all
+    concurrent lanes (workers), which the plan bounds against
+    ``budget_bytes`` unless the ``min_block_size`` floor binds (then
+    ``scratch_bytes`` exceeds the budget and ``reason`` says so).  Scratch
+    hop matrices live on disk and are excluded.
+    """
+
+    block_size: int
+    num_blocks: int
+    scratch_bytes: int
+    budget_bytes: int
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+
+
+def plan_propagation_blocks(
+    num_nodes: int,
+    feature_dim: int,
+    accumulate_itemsize: int = 8,
+    budget_bytes: Optional[int] = None,
+    host: Optional[MemoryDevice] = None,
+    num_workers: int = 0,
+    min_block_size: int = 256,
+) -> PropagationBlockPlan:
+    """Pick a propagation row-block size from a resident-memory budget.
+
+    Each concurrent lane (the single process, or each of ``num_workers``
+    workers) holds ``_BLOCK_RESIDENCY_FACTOR`` block-sized matrices in
+    ``accumulate_itemsize``-byte precision, so the block size is the largest
+    value keeping ``lanes * factor * block * F * itemsize`` under the budget.
+    The budget comes from, in order of preference: ``budget_bytes``, a
+    quarter of ``host.headroom()`` (see :class:`~repro.hardware.memory.
+    MemoryDevice`), or :data:`DEFAULT_PROPAGATION_BUDGET_BYTES`.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if feature_dim <= 0:
+        raise ValueError("feature_dim must be positive")
+    if min_block_size <= 0:
+        raise ValueError("min_block_size must be positive")
+    if budget_bytes is not None:
+        source = "explicit budget"
+    elif host is not None:
+        budget_bytes = host.headroom(0.25)
+        source = f"25% of free host memory on {host.spec.name}"
+    else:
+        budget_bytes = DEFAULT_PROPAGATION_BUDGET_BYTES
+        source = "default budget"
+    lanes = max(1, int(num_workers))
+    bytes_per_row = _BLOCK_RESIDENCY_FACTOR * int(accumulate_itemsize) * feature_dim * lanes
+    block_size = int(min(num_nodes, max(min_block_size, budget_bytes // max(bytes_per_row, 1))))
+    num_blocks = -(-num_nodes // block_size)
+    reason = (
+        f"{source}: {budget_bytes / 1e6:.0f} MB over {lanes} lane(s) x "
+        f"{_BLOCK_RESIDENCY_FACTOR} copies x {feature_dim} features x "
+        f"{accumulate_itemsize} B"
+    )
+    scratch_bytes = block_size * bytes_per_row
+    if scratch_bytes > budget_bytes:
+        # the min_block_size floor binds: don't let the caller believe the
+        # budget holds when the smallest workable block already exceeds it
+        reason += (
+            f"; min_block_size floor binds — scratch ({scratch_bytes / 1e6:.0f} MB) "
+            "exceeds the budget"
+        )
+        logger.warning(
+            "blocked-propagation plan exceeds its budget: %d-row floor needs "
+            "%.0f MB against %.0f MB budgeted",
+            block_size,
+            scratch_bytes / 1e6,
+            budget_bytes / 1e6,
+        )
+    plan = PropagationBlockPlan(
+        block_size=block_size,
+        num_blocks=num_blocks,
+        scratch_bytes=scratch_bytes,
+        budget_bytes=int(budget_bytes),
+        reason=reason,
+    )
+    logger.info(
+        "blocked-propagation plan: %d rows/block, %d blocks (%s)",
+        plan.block_size,
+        plan.num_blocks,
+        plan.reason,
+    )
+    return plan
 
 
 @dataclass

@@ -40,7 +40,6 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import signal
-import sys
 import time
 import traceback
 from collections import deque
@@ -51,6 +50,7 @@ import weakref
 
 from repro.dataloading.loaders import PPGNNBatch, PPGNNLoader
 from repro.dataloading.shm import SharedPackedStore, SlotRing, attach_slots, attach_store
+from repro.utils.mp import default_start_method
 from repro.utils.timer import TimeAccumulator
 
 __all__ = ["MultiProcessLoader"]
@@ -201,16 +201,7 @@ class MultiProcessLoader:
         self._epoch_id = 0
         self._closed = False
 
-        if start_method is None:
-            # fork is near-free and shares the parent's imports, but is only
-            # safe on Linux: macOS lists it too, yet forking without exec
-            # crashes Accelerate-backed NumPy in the children
-            start_method = (
-                "fork"
-                if sys.platform == "linux" and "fork" in mp.get_all_start_methods()
-                else "spawn"
-            )
-        ctx = mp.get_context(start_method)
+        ctx = mp.get_context(default_start_method(start_method))
 
         store = loader.store
         self._shared_store = SharedPackedStore(store)

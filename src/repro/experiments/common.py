@@ -38,6 +38,8 @@ class PreparedPPData:
     store: FeatureStore
     preprocess_seconds: float
     hops: int
+    #: per-phase preprocessing seconds (operator / propagate / store_write)
+    timing: Optional[Dict[str, float]] = None
 
     def loader(
         self,
@@ -59,13 +61,31 @@ def prepare_pp_data(
     num_nodes: Optional[int] = None,
     seed: int = 0,
     operators: Sequence[str] = ("normalized_adjacency",),
+    mode: str = "in_core",
+    num_workers: int = 0,
+    block_size: Optional[int] = None,
+    accumulate_dtype: str = "float64",
 ) -> PreparedPPData:
-    """Load a dataset replica and run the pre-propagation pipeline."""
+    """Load a dataset replica and run the pre-propagation pipeline.
+
+    ``mode="blocked"`` runs the out-of-core engine (optionally sharded over
+    ``num_workers`` processes); output is bit-identical to the in-core path,
+    so downstream accuracy results never depend on the choice.
+    """
     dataset = load_dataset(name, seed=seed, num_nodes=num_nodes)
-    config = PropagationConfig(num_hops=hops, operators=tuple(operators))
-    result = PreprocessingPipeline(config).run(dataset)
+    config = PropagationConfig(
+        num_hops=hops, operators=tuple(operators), accumulate_dtype=accumulate_dtype
+    )
+    pipeline = PreprocessingPipeline(
+        config, mode=mode, num_workers=num_workers, block_size=block_size
+    )
+    result = pipeline.run(dataset)
     return PreparedPPData(
-        dataset=dataset, store=result.store, preprocess_seconds=result.wall_seconds, hops=hops
+        dataset=dataset,
+        store=result.store,
+        preprocess_seconds=result.wall_seconds,
+        hops=hops,
+        timing=dict(result.timing),
     )
 
 

@@ -12,7 +12,9 @@ from repro.graph.builders import (
 )
 from repro.graph.operators import (
     heat_kernel_operator,
+    iter_operator_row_blocks,
     normalized_adjacency,
+    operator_row_block,
     personalized_pagerank_operator,
     random_walk_operator,
     OPERATOR_REGISTRY,
@@ -41,6 +43,8 @@ __all__ = [
     "heat_kernel_operator",
     "OPERATOR_REGISTRY",
     "build_operator",
+    "operator_row_block",
+    "iter_operator_row_blocks",
     "stochastic_block_model",
     "powerlaw_cluster_graph",
     "erdos_renyi_graph",

@@ -136,6 +136,30 @@ class CSRGraph:
             name=f"{self.name}.rev",
         )
 
+    def row_block(
+        self, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """CSR triplet of the rows ``[start, stop)`` as zero-copy views.
+
+        Returns ``(indptr, indices, edge_weight)`` describing the rectangular
+        ``(stop - start, num_nodes)`` block: ``indptr`` is rebased to start at
+        0 (the only copied array, of length ``stop - start + 1``) while
+        ``indices`` and ``edge_weight`` are views into the full arrays.  The
+        graph-level counterpart of :func:`repro.graph.operators.
+        operator_row_block` (which slices the *derived* operator matrix and is
+        what the blocked propagation engine tiles over) — use this one when
+        tiling directly over the raw adjacency, e.g. in samplers or
+        partitioners.
+        """
+        if not 0 <= start <= stop <= self.num_nodes:
+            raise ValueError(
+                f"row block [{start}, {stop}) out of range for {self.num_nodes} nodes"
+            )
+        lo, hi = int(self.indptr[start]), int(self.indptr[stop])
+        indptr = self.indptr[start : stop + 1] - self.indptr[start]
+        weights = self.edge_weight[lo:hi] if self.edge_weight is not None else None
+        return indptr, self.indices[lo:hi], weights
+
     def subgraph(self, nodes: np.ndarray) -> tuple["CSRGraph", np.ndarray]:
         """Induced subgraph on ``nodes``.
 

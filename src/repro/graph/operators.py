@@ -9,7 +9,7 @@ them are implemented here as sparse matrices.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterator
 
 import numpy as np
 import scipy.sparse as sp
@@ -111,6 +111,41 @@ def heat_kernel_operator(
             result.data[np.abs(result.data) < sparsify_threshold] = 0.0
             result.eliminate_zeros()
     return result.tocsr()
+
+
+def operator_row_block(operator: sp.csr_matrix, start: int, stop: int) -> sp.csr_matrix:
+    """Rows ``[start, stop)`` of a CSR operator as a rectangular block.
+
+    The block is ``(stop - start, num_cols)`` and shares the operator's data
+    and index arrays (only the short rebased ``indptr`` slice is copied), so
+    building a block costs O(stop - start) regardless of graph size.  A
+    block-SpMM ``operator_row_block(B, s, e) @ X`` runs the exact same
+    per-row multiply-accumulate sequence as rows ``s:e`` of ``B @ X``, so
+    tiled propagation is bit-identical to the in-core product.
+    """
+    num_rows, num_cols = operator.shape
+    if not 0 <= start <= stop <= num_rows:
+        raise ValueError(f"row block [{start}, {stop}) out of range for {num_rows} rows")
+    lo, hi = int(operator.indptr[start]), int(operator.indptr[stop])
+    indptr = operator.indptr[start : stop + 1] - operator.indptr[start]
+    block = sp.csr_matrix(
+        (operator.data[lo:hi], operator.indices[lo:hi], indptr),
+        shape=(stop - start, num_cols),
+        copy=False,
+    )
+    return block
+
+
+def iter_operator_row_blocks(
+    operator: sp.csr_matrix, block_size: int
+) -> Iterator[tuple[int, int, sp.csr_matrix]]:
+    """Yield ``(start, stop, block)`` row tiles of ``operator`` in order."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    num_rows = operator.shape[0]
+    for start in range(0, num_rows, block_size):
+        stop = min(start + block_size, num_rows)
+        yield start, stop, operator_row_block(operator, start, stop)
 
 
 OperatorFn = Callable[..., sp.csr_matrix]

@@ -11,6 +11,8 @@ Two uses in the reproduction:
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.graph.csr import CSRGraph
@@ -67,10 +69,13 @@ def locality_aware_partition(
     while unassigned and len(parts) < num_parts:
         part: list[int] = []
         seed_node = int(rng.choice(np.fromiter(unassigned, dtype=np.int64)))
-        frontier = [seed_node]
+        # deque: popleft is O(1), so the BFS stays linear in visited edges
+        # even when the frontier grows to a large fraction of the graph
+        # (list.pop(0) made this quadratic on high-degree frontiers)
+        frontier = deque([seed_node])
         visited = {seed_node}
         while frontier and len(part) < target:
-            node = frontier.pop(0)
+            node = frontier.popleft()
             if node in unassigned:
                 part.append(node)
                 unassigned.discard(node)

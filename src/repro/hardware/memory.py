@@ -44,6 +44,17 @@ class MemoryDevice:
         """Would an allocation of ``num_bytes`` succeed right now?"""
         return num_bytes <= self.free
 
+    def headroom(self, fraction: float = 1.0) -> int:
+        """Bytes available for a new allocation, scaled by a safety fraction.
+
+        Budget planners (e.g. the blocked-propagation block sizer) use this
+        instead of ``free`` directly so transient scratch never claims the
+        whole device and starves the allocations that follow.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return max(0, int(self.free * fraction))
+
     def allocate(self, name: str, num_bytes: int) -> None:
         """Reserve ``num_bytes`` under ``name`` (idempotent per name)."""
         if num_bytes < 0:

@@ -1,14 +1,21 @@
 """Pre-propagation: hop-wise feature propagation, storage and pipelines."""
 
 from repro.prepropagation.propagator import PropagationConfig, propagate_features
+from repro.prepropagation.blocked import propagate_blocked
 from repro.prepropagation.store import FeatureStore, HopFeatures
-from repro.prepropagation.pipeline import PreprocessingPipeline, PreprocessingResult
+from repro.prepropagation.pipeline import (
+    PREPROCESSING_MODES,
+    PreprocessingPipeline,
+    PreprocessingResult,
+)
 
 __all__ = [
     "PropagationConfig",
     "propagate_features",
+    "propagate_blocked",
     "FeatureStore",
     "HopFeatures",
+    "PREPROCESSING_MODES",
     "PreprocessingPipeline",
     "PreprocessingResult",
 ]

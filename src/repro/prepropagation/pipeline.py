@@ -1,20 +1,35 @@
 """End-to-end preprocessing pipeline for PP-GNN training.
 
-Wraps :func:`~repro.prepropagation.propagator.propagate_features` with the
-bookkeeping the experiments need: restriction to labeled nodes, byte/expansion
-accounting (Section 3.4), timing (Table 2 / Table 7), and optional persistence
-through :class:`~repro.prepropagation.store.FeatureStore`.
+Wraps the propagation engines with the bookkeeping the experiments need:
+restriction to labeled nodes, byte/expansion accounting (Section 3.4),
+per-phase timing (Table 2 / Table 7), and optional persistence through
+:class:`~repro.prepropagation.store.FeatureStore`.
+
+Two execution modes share one result contract:
+
+* ``"in_core"`` — the reference path: full-graph hop matrices in RAM
+  (:func:`~repro.prepropagation.propagator.propagate_features`), restricted to
+  labeled rows afterwards.  Peak memory ``O(K (R + 1) N F)``.
+* ``"blocked"`` — the out-of-core engine
+  (:func:`~repro.prepropagation.blocked.propagate_blocked`): row-tiled SpMM,
+  disk-backed hop scratch, labeled rows streamed straight into the final
+  store layout, optional worker processes.  Peak memory ``O(block_size x F)``
+  scratch.  Bit-identical output for a fixed accumulation dtype.
+
+``"auto"`` picks blocked when the in-core transient would exceed the memory
+budget.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
 import numpy as np
 
 from repro.datasets.synthetic import NodeClassificationDataset
+from repro.prepropagation.blocked import propagate_blocked
 from repro.prepropagation.propagator import (
     PropagationConfig,
     expanded_bytes,
@@ -23,8 +38,12 @@ from repro.prepropagation.propagator import (
 )
 from repro.prepropagation.store import FeatureStore, HopFeatures
 from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
 
 logger = get_logger("prepropagation.pipeline")
+
+#: supported execution modes of the pipeline
+PREPROCESSING_MODES = ("in_core", "blocked", "auto")
 
 
 @dataclass
@@ -37,6 +56,8 @@ class PreprocessingResult:
     raw_feature_bytes: int
     expanded_feature_bytes: int
     labeled_rows: int
+    mode: str = "in_core"
+    timing: dict = field(default_factory=dict)
 
     @property
     def expansion_factor(self) -> float:
@@ -47,44 +68,145 @@ class PreprocessingResult:
         return self.expanded_feature_bytes / raw_labeled
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "hops": self.config.num_hops,
             "kernels": self.config.num_kernels,
             "wall_seconds": self.wall_seconds,
             "expanded_bytes": self.expanded_feature_bytes,
             "expansion_factor": self.expansion_factor,
             "labeled_rows": self.labeled_rows,
+            # self-describing Table 7 runs: where the store lives and how the
+            # SpMM accumulated are part of the measurement, not incidentals
+            "layout": self.store.layout,
+            "accumulate_dtype": self.config.accumulate_dtype,
+            "mode": self.mode,
         }
+        for key in ("operator_seconds", "propagate_seconds", "store_write_seconds"):
+            if key in self.timing:
+                summary[key] = self.timing[key]
+        return summary
 
 
 class PreprocessingPipeline:
-    """Compute and (optionally) persist pre-propagated features for a dataset."""
+    """Compute and (optionally) persist pre-propagated features for a dataset.
+
+    Parameters
+    ----------
+    config / root / store_layout:
+        As before: propagation recipe, optional persistence root, on-disk
+        layout (``"hops"`` or ``"packed"``).
+    mode:
+        ``"in_core"`` (reference), ``"blocked"`` (out-of-core engine) or
+        ``"auto"`` (blocked iff the in-core transient exceeds the budget).
+    block_size:
+        Rows per SpMM tile for the blocked engine; ``None`` plans it from the
+        memory budget via
+        :func:`repro.autoconfig.planner.plan_propagation_blocks`.
+    num_workers:
+        Worker processes for the blocked engine (``0`` = inline).
+    memory_budget_bytes:
+        Resident-scratch budget for block planning and the ``"auto"``
+        decision; ``None`` uses the planner default.
+    scratch_dir:
+        Where the blocked engine puts its hop scratch memmaps (default: the
+        system temp directory).
+    """
 
     def __init__(
         self,
         config: PropagationConfig,
         root: Optional[Path] = None,
         store_layout: str = "hops",
+        mode: str = "in_core",
+        block_size: Optional[int] = None,
+        num_workers: int = 0,
+        memory_budget_bytes: Optional[int] = None,
+        scratch_dir: Optional[Path] = None,
     ) -> None:
+        if mode not in PREPROCESSING_MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {PREPROCESSING_MODES}")
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
         self.config = config
         self.root = Path(root) if root is not None else None
         self.store_layout = store_layout
+        self.mode = mode
+        self.block_size = block_size
+        self.num_workers = num_workers
+        self.memory_budget_bytes = memory_budget_bytes
+        self.scratch_dir = Path(scratch_dir) if scratch_dir is not None else None
 
+    # ------------------------------------------------------------------ #
+    def _in_core_transient_bytes(self, dataset: NodeClassificationDataset) -> int:
+        """Peak full-graph working set of the in-core path (the blocked engine's target)."""
+        num_values = dataset.num_nodes * dataset.num_features
+        accumulate_itemsize = np.dtype(self.config.accumulate_dtype).itemsize
+        stored_itemsize = np.dtype(self.config.dtype).itemsize
+        return int(
+            num_values
+            * (2 * accumulate_itemsize + stored_itemsize * self.config.num_matrices)
+        )
+
+    def _resolve_mode(self, dataset: NodeClassificationDataset) -> str:
+        if self.mode != "auto":
+            return self.mode
+        from repro.autoconfig.planner import DEFAULT_PROPAGATION_BUDGET_BYTES
+
+        budget = self.memory_budget_bytes or DEFAULT_PROPAGATION_BUDGET_BYTES
+        return "blocked" if self._in_core_transient_bytes(dataset) > budget else "in_core"
+
+    def _planned_block_size(self, dataset: NodeClassificationDataset) -> int:
+        if self.block_size is not None:
+            return self.block_size
+        # imported lazily: autoconfig sits above prepropagation in the layer
+        # stack and pulls in the cost models
+        from repro.autoconfig.planner import plan_propagation_blocks
+
+        plan = plan_propagation_blocks(
+            num_nodes=dataset.num_nodes,
+            feature_dim=dataset.num_features,
+            accumulate_itemsize=np.dtype(self.config.accumulate_dtype).itemsize,
+            budget_bytes=self.memory_budget_bytes,
+            num_workers=self.num_workers,
+        )
+        return plan.block_size
+
+    # ------------------------------------------------------------------ #
     def run(self, dataset: NodeClassificationDataset) -> PreprocessingResult:
-        """Propagate features over the full graph, then keep only labeled rows.
+        """Propagate features over the full graph, keeping only labeled rows.
 
         The full-graph propagation is what makes preprocessing relatively
         expensive on sparsely-labeled graphs (ogbn-papers100M in Table 7):
         information from unlabeled nodes is folded in during the SpMM even
-        though only labeled rows are stored afterwards.
+        though only labeled rows are stored.  The blocked mode keeps exactly
+        that property while never materializing a full hop matrix in RAM.
         """
-        full_matrices, timing = propagate_features(dataset.graph, dataset.features, self.config)
-        labeled = np.concatenate(
-            [dataset.split.train, dataset.split.valid, dataset.split.test]
+        labeled = np.unique(
+            np.concatenate([dataset.split.train, dataset.split.valid, dataset.split.test])
         )
-        labeled = np.unique(labeled)
-        hop_features = HopFeatures.from_full_matrices(full_matrices, labeled)
-        store = FeatureStore(hop_features, root=self.root, layout=self.store_layout)
+        mode = self._resolve_mode(dataset)
+        if mode == "blocked":
+            store, timing = propagate_blocked(
+                dataset.graph,
+                dataset.features,
+                self.config,
+                labeled,
+                root=self.root,
+                layout=self.store_layout,
+                block_size=self._planned_block_size(dataset),
+                num_workers=self.num_workers,
+                scratch_dir=self.scratch_dir,
+            )
+        else:
+            full_matrices, timing = propagate_features(
+                dataset.graph, dataset.features, self.config
+            )
+            with Timer() as write_timer:
+                hop_features = HopFeatures.from_full_matrices(full_matrices, labeled)
+                store = FeatureStore(hop_features, root=self.root, layout=self.store_layout)
+            timing = dict(timing)
+            timing["store_write_seconds"] = write_timer.elapsed
+            timing["total_seconds"] += write_timer.elapsed
 
         dtype_bytes = np.dtype(self.config.dtype).itemsize
         raw_bytes = int(labeled.size * dataset.num_features * dtype_bytes)
@@ -98,10 +220,13 @@ class PreprocessingPipeline:
             raw_feature_bytes=raw_bytes,
             expanded_feature_bytes=exp_bytes,
             labeled_rows=int(labeled.size),
+            mode=mode,
+            timing=timing,
         )
         logger.info(
-            "preprocessing %s: %.2fs, expansion x%.1f (%d labeled rows)",
+            "preprocessing %s [%s]: %.2fs, expansion x%.1f (%d labeled rows)",
             dataset.name,
+            mode,
             result.wall_seconds,
             result.expansion_factor,
             result.labeled_rows,

@@ -37,12 +37,20 @@ class PropagationConfig:
     dtype:
         Storage dtype of the propagated features (float32 matches the paper's
         byte accounting).
+    accumulate_dtype:
+        Dtype the SpMM chain runs in (operator data and the hop-``r`` input to
+        hop ``r + 1``).  The float64 default maximizes numerical headroom but
+        holds ``8 N F``-byte working matrices — on top of the stored float32
+        hops, a silent 2x of the resident working set.  ``"float32"`` halves
+        the accumulator at a bounded precision cost (normalized operators
+        keep hop magnitudes O(1), so error stays ~1e-6 relative).
     """
 
     num_hops: int = 3
     operators: tuple[str, ...] = ("normalized_adjacency",)
     operator_kwargs: tuple[dict, ...] = field(default=())
     dtype: str = "float32"
+    accumulate_dtype: str = "float64"
 
     def __post_init__(self) -> None:
         if self.num_hops < 0:
@@ -51,6 +59,10 @@ class PropagationConfig:
             raise ValueError("at least one operator is required")
         if self.operator_kwargs and len(self.operator_kwargs) != len(self.operators):
             raise ValueError("operator_kwargs must match operators length (or be empty)")
+        if np.dtype(self.accumulate_dtype).name not in ("float32", "float64"):
+            raise ValueError(
+                f"accumulate_dtype must be float32 or float64, got {self.accumulate_dtype!r}"
+            )
 
     @property
     def num_kernels(self) -> int:
@@ -88,6 +100,7 @@ def propagate_features(
             f"features must be (num_nodes, F); got {features.shape} for {graph.num_nodes} nodes"
         )
     dtype = np.dtype(config.dtype)
+    accumulate_dtype = np.dtype(config.accumulate_dtype)
 
     operator_time = Timer()
     propagate_time = Timer()
@@ -95,8 +108,13 @@ def propagate_features(
     for k, name in enumerate(config.operators):
         with operator_time:
             operator = build_operator(name, graph, **config.kwargs_for(k))
+            if operator.dtype != accumulate_dtype:
+                # cast the operator once so the SpMM truly accumulates in the
+                # configured dtype (a float64 operator would silently upcast a
+                # float32 hop matrix back to a full float64 copy)
+                operator = operator.astype(accumulate_dtype)
         per_hop = [features.astype(dtype, copy=True)]
-        current = features.astype(np.float64, copy=False)
+        current = features.astype(accumulate_dtype, copy=False)
         with propagate_time:
             for _ in range(config.num_hops):
                 current = operator @ current
@@ -118,6 +136,8 @@ def flops_estimate(graph: CSRGraph, feature_dim: int, config: PropagationConfig)
 
     Each hop is one SpMM: ``2 * nnz(B) * F`` flops; used by the amortization
     analysis to extrapolate paper-scale preprocessing cost from replica runs.
+    The count is independent of ``config.accumulate_dtype`` — float32
+    accumulation changes bandwidth and memory, not the MAC count.
     """
     nnz = graph.num_edges + graph.num_nodes  # self loops added by normalization
     return int(2 * nnz * feature_dim * config.num_hops * config.num_kernels)
@@ -129,5 +149,11 @@ def expanded_bytes(
     """Size of the stored pre-propagated input — the input-expansion problem.
 
     ``K (R + 1)`` matrices of ``num_rows x feature_dim`` values (Section 3.4).
+    This counts the *stored* bytes only (``dtype_bytes`` per value, the
+    storage dtype).  The in-core propagation additionally holds ~2 working
+    matrices of ``N x feature_dim`` in ``config.accumulate_dtype`` while it
+    runs — with the float64 default that transient is ``16 N F`` bytes on top
+    of the stored hops; the blocked engine replaces it with O(block_size x F)
+    scratch.
     """
     return int(num_rows * feature_dim * dtype_bytes * config.num_matrices)

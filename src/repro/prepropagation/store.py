@@ -52,6 +52,31 @@ _META_FILENAME = "meta.json"
 _PACKED_FILENAME = "packed.npy"
 
 
+def store_meta(
+    layout: str,
+    num_kernels: int,
+    num_hops: int,
+    num_rows: int,
+    feature_dim: int,
+    dtype,
+) -> dict:
+    """The ``meta.json`` schema every store writer must emit.
+
+    Shared by :class:`FeatureStore` and the blocked propagation engine (which
+    writes store files directly) so the two can never drift apart on the
+    format :meth:`FeatureStore.load` expects.
+    """
+    return {
+        "version": 2,
+        "layout": layout,
+        "num_kernels": int(num_kernels),
+        "num_hops": int(num_hops),
+        "num_rows": int(num_rows),
+        "feature_dim": int(feature_dim),
+        "dtype": str(np.dtype(dtype)),
+    }
+
+
 def _take_rows(packed: np.ndarray, row_indices: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
     """``np.take`` over axis 1 with explicit bounds checking.
 
@@ -274,15 +299,14 @@ class FeatureStore:
 
     # ------------------------------------------------------------------ #
     def _meta(self) -> dict:
-        return {
-            "version": 2,
-            "layout": self.layout,
-            "num_kernels": self._features.num_kernels,
-            "num_hops": self._features.num_hops,
-            "num_rows": self._features.num_rows,
-            "feature_dim": self._features.feature_dim,
-            "dtype": str(self.dtype),
-        }
+        return store_meta(
+            layout=self.layout,
+            num_kernels=self._features.num_kernels,
+            num_hops=self._features.num_hops,
+            num_rows=self._features.num_rows,
+            feature_dim=self._features.feature_dim,
+            dtype=self.dtype,
+        )
 
     def _persist(self) -> None:
         assert self.root is not None

@@ -1,0 +1,26 @@
+"""Multiprocessing policy shared by the worker subsystems."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+from typing import Optional
+
+
+def default_start_method(start_method: Optional[str] = None) -> str:
+    """Resolve the start method for a worker pool (fork where it is safe).
+
+    Fork is near-free and shares the parent's imports (and, for the blocked
+    propagation engine, the feature matrix copy-on-write), but is only safe
+    on Linux: macOS lists it too, yet forking without exec crashes
+    Accelerate-backed NumPy in the children.  Both the multi-process loader
+    and the blocked propagation pool resolve through here so the policy
+    cannot drift between them.
+    """
+    if start_method is not None:
+        return start_method
+    return (
+        "fork"
+        if sys.platform == "linux" and "fork" in mp.get_all_start_methods()
+        else "spawn"
+    )

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.autoconfig import AutoConfigurator, DataPlacementPolicy, MemoryProbe
+from repro.autoconfig import (
+    AutoConfigurator,
+    DataPlacementPolicy,
+    MemoryProbe,
+    plan_propagation_blocks,
+)
 from repro.dataloading.cost_model import ModelComputeProfile
 from repro.datasets.catalog import PAPER_DATASETS
 from repro.hardware import laptop, paper_server, workstation
@@ -137,3 +142,47 @@ class TestAutoConfigurator:
         ws_plan = AutoConfigurator(workstation()).plan(info, hoga_profile, hops=3)
         assert server_plan.placement == "host"
         assert ws_plan.placement == "storage"
+
+
+class TestPropagationBlockPlan:
+    def test_budget_bounds_resident_scratch(self):
+        plan = plan_propagation_blocks(
+            num_nodes=1_000_000, feature_dim=128, budget_bytes=64 * 1024**2
+        )
+        assert plan.scratch_bytes <= plan.budget_bytes
+        assert plan.block_size * plan.num_blocks >= 1_000_000
+        assert plan.num_blocks == -(-1_000_000 // plan.block_size)
+
+    def test_workers_split_the_budget(self):
+        solo = plan_propagation_blocks(10**6, 128, budget_bytes=64 * 1024**2)
+        pooled = plan_propagation_blocks(10**6, 128, budget_bytes=64 * 1024**2, num_workers=4)
+        assert pooled.block_size * 4 <= solo.block_size + 4  # per-lane split (rounding slack)
+
+    def test_block_never_exceeds_graph(self):
+        plan = plan_propagation_blocks(500, 8, budget_bytes=1 << 40)
+        assert plan.block_size == 500
+        assert plan.num_blocks == 1
+
+    def test_min_block_floor(self):
+        plan = plan_propagation_blocks(10**6, 4096, budget_bytes=1, min_block_size=256)
+        assert plan.block_size == 256
+        # the floor overrode the budget; the plan must not claim it fits
+        assert plan.scratch_bytes > plan.budget_bytes
+        assert "floor binds" in plan.reason
+
+    def test_host_device_supplies_budget(self):
+        from repro.hardware.memory import MemoryDevice
+        from repro.hardware.spec import DeviceSpec
+
+        host = MemoryDevice(DeviceSpec("host", capacity_bytes=8 * GB, bandwidth=1e9))
+        plan = plan_propagation_blocks(10**6, 128, host=host)
+        assert plan.budget_bytes == host.headroom(0.25)
+        assert "host" in plan.reason
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_propagation_blocks(0, 128)
+        with pytest.raises(ValueError):
+            plan_propagation_blocks(100, 0)
+        with pytest.raises(ValueError):
+            plan_propagation_blocks(100, 8, min_block_size=0)

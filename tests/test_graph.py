@@ -10,6 +10,8 @@ from repro.graph import (
     add_self_loops,
     build_operator,
     contiguous_chunks,
+    iter_operator_row_blocks,
+    operator_row_block,
     degree_statistics,
     edge_homophily,
     erdos_renyi_graph,
@@ -142,6 +144,49 @@ class TestCSRGraph:
         back = from_networkx(nx_graph)
         assert back.num_nodes == tiny_graph.num_nodes
         assert back.num_edges == tiny_graph.num_edges
+
+
+class TestRowBlocks:
+    def test_row_block_matches_scipy_slice(self, tiny_graph):
+        indptr, indices, weights = tiny_graph.row_block(2, 6)
+        block = sp.csr_matrix(
+            (np.ones(indices.size) if weights is None else weights, indices, indptr),
+            shape=(4, tiny_graph.num_nodes),
+        )
+        assert np.array_equal(block.toarray(), tiny_graph.to_scipy()[2:6].toarray())
+
+    def test_row_block_views_are_zero_copy(self, tiny_graph):
+        _, indices, _ = tiny_graph.row_block(1, 5)
+        assert indices.base is tiny_graph.indices
+
+    def test_row_block_bounds_checked(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.row_block(-1, 4)
+        with pytest.raises(ValueError):
+            tiny_graph.row_block(2, tiny_graph.num_nodes + 1)
+        with pytest.raises(ValueError):
+            tiny_graph.row_block(5, 2)
+
+    def test_operator_row_block_matches_rows(self, tiny_graph):
+        op = normalized_adjacency(tiny_graph)
+        block = operator_row_block(op, 3, 7)
+        assert block.shape == (4, tiny_graph.num_nodes)
+        assert np.array_equal(block.toarray(), op[3:7].toarray())
+
+    def test_block_spmm_bit_identical_to_full(self, tiny_graph):
+        """The tiling contract of the blocked propagation engine."""
+        op = normalized_adjacency(tiny_graph)
+        x = np.random.default_rng(3).standard_normal((tiny_graph.num_nodes, 5))
+        full = op @ x
+        for start, stop, block in iter_operator_row_blocks(op, block_size=3):
+            assert np.array_equal(block @ x, full[start:stop])
+
+    def test_iter_blocks_cover_all_rows(self, tiny_graph):
+        op = normalized_adjacency(tiny_graph)
+        spans = [(s, e) for s, e, _ in iter_operator_row_blocks(op, block_size=3)]
+        assert spans == [(0, 3), (3, 6), (6, 8)]
+        with pytest.raises(ValueError):
+            list(iter_operator_row_blocks(op, 0))
 
 
 class TestBuilders:
@@ -304,6 +349,31 @@ class TestPartition:
     def test_single_part_returns_all(self, small_dataset):
         parts = locality_aware_partition(small_dataset.graph, small_dataset.split.train, 1)
         assert len(parts) == 1
+
+    def test_locality_partition_scales_to_wide_frontiers(self):
+        """Size-scaled sanity check for the deque-based BFS frontier.
+
+        A hub graph drives the frontier to O(N) immediately; with the old
+        ``list.pop(0)`` this path was quadratic in frontier size.  The test
+        pins correctness at a size where the quadratic version already
+        crawled, with a generous wall bound as a tripwire.
+        """
+        import time
+
+        num_nodes = 6000
+        hubs = np.arange(8)
+        spokes = np.arange(num_nodes)
+        src = np.concatenate([np.repeat(hubs, num_nodes // 8), np.tile(hubs, num_nodes // 8)])
+        dst = np.concatenate([np.tile(spokes[: num_nodes // 8 * 8], 1), np.repeat(spokes[: num_nodes // 8 * 8], 1)])
+        graph = symmetrize(from_edge_index(np.stack([src, dst]), num_nodes=num_nodes))
+        train = np.arange(num_nodes, dtype=np.int64)
+        began = time.perf_counter()
+        parts = locality_aware_partition(graph, train, 4, seed=1)
+        elapsed = time.perf_counter() - began
+        combined = np.concatenate([p for p in parts if p.size])
+        assert np.array_equal(np.sort(combined), train)
+        assert sum(p.size for p in parts) == num_nodes
+        assert elapsed < 5.0, f"wide-frontier partition took {elapsed:.1f}s"
 
 
 @settings(max_examples=20, deadline=None)

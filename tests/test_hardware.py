@@ -99,6 +99,15 @@ class TestMemory:
         dev = MemoryDevice(DeviceSpec("gpu", capacity_bytes=GB, bandwidth=1e9), reserved_bytes=GB // 2)
         assert dev.free == GB // 2
 
+    def test_headroom_scales_free_bytes(self):
+        dev = MemoryDevice(DeviceSpec("host", capacity_bytes=GB, bandwidth=1e9), reserved_bytes=GB // 2)
+        assert dev.headroom() == dev.free
+        assert dev.headroom(0.5) == dev.free // 2
+        with pytest.raises(ValueError):
+            dev.headroom(0.0)
+        with pytest.raises(ValueError):
+            dev.headroom(1.5)
+
     def test_pool_from_hardware_and_lookup(self):
         pool = MemoryPool.from_hardware(paper_server())
         assert pool.device("gpu") is pool.gpu

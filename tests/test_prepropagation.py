@@ -1,5 +1,7 @@
 """Tests for hop-wise feature propagation, the feature store and the pipeline."""
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -76,6 +78,24 @@ class TestPropagateFeatures:
         config = PropagationConfig(num_hops=2)
         assert flops_estimate(tiny_graph, 4, config) > 0
         assert expanded_bytes(100, 10, config) == 100 * 10 * 4 * 3
+
+    def test_invalid_accumulate_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            PropagationConfig(num_hops=1, accumulate_dtype="float16")
+        with pytest.raises(ValueError):
+            PropagationConfig(num_hops=1, accumulate_dtype="int64")
+
+    def test_float32_accumulation_close_to_float64(self, tiny_graph):
+        features = np.random.default_rng(2).standard_normal((8, 4)).astype(np.float32)
+        hops64, _ = propagate_features(
+            tiny_graph, features, PropagationConfig(num_hops=3)
+        )
+        hops32, _ = propagate_features(
+            tiny_graph, features, PropagationConfig(num_hops=3, accumulate_dtype="float32")
+        )
+        for m64, m32 in zip(hops64[0], hops32[0]):
+            assert m32.dtype == np.float32
+            assert np.allclose(m64, m32, atol=1e-6)
 
 
 class TestHopFeatures:
@@ -225,6 +245,45 @@ class TestFeatureStore:
             for got, want in zip(kernel_got, kernel_want):
                 assert np.array_equal(got, want)
 
+    @pytest.mark.parametrize("layout", ["hops", "packed"])
+    def test_multi_kernel_gather_round_trip(self, tmp_path, layout):
+        """Kernel/hop ordering must survive save -> load -> gather verbatim.
+
+        Each matrix carries a unique (kernel, hop) watermark so a flat-index
+        permutation anywhere in the round trip cannot cancel out; the gathers
+        (both per-matrix and fused packed) must hand back the kernel-major,
+        hop-minor order that ``meta.json`` records.
+        """
+        num_kernels, hops_plus_one = 3, 4
+        matrices = [
+            [
+                np.full((10, 4), 100.0 * k + r, dtype=np.float32)
+                + np.arange(10, dtype=np.float32)[:, None]
+                for r in range(hops_plus_one)
+            ]
+            for k in range(num_kernels)
+        ]
+        original = HopFeatures(node_ids=np.arange(10) * 7, matrices=matrices)
+        FeatureStore(original, root=tmp_path / "mkg", layout=layout)
+
+        meta = json.loads((tmp_path / "mkg" / "meta.json").read_text())
+        assert meta["num_kernels"] == num_kernels
+        assert meta["num_hops"] == hops_plus_one - 1
+        assert meta["layout"] == layout
+
+        reloaded = FeatureStore.load(tmp_path / "mkg")
+        rows = np.array([9, 0, 4])
+        gathered = reloaded.gather(rows)
+        assert len(gathered) == num_kernels * hops_plus_one
+        for k in range(num_kernels):
+            for r in range(hops_plus_one):
+                flat = k * hops_plus_one + r
+                assert np.array_equal(gathered[flat], matrices[k][r][rows]), (
+                    f"kernel {k} hop {r} came back out of order"
+                )
+        block = reloaded.gather_packed(rows)
+        assert np.array_equal(block, np.stack(original.gather(rows)))
+
     def test_legacy_store_without_meta_loads_single_kernel(self, tmp_path):
         """Stores persisted before meta.json existed still load (one kernel)."""
         rng = np.random.default_rng(1)
@@ -257,6 +316,14 @@ class TestPipeline:
 
     def test_summary_keys(self, prepared_store):
         assert {"hops", "kernels", "wall_seconds", "expansion_factor"} <= set(prepared_store.summary())
+
+    def test_summary_is_self_describing(self, prepared_store):
+        """Tab-7 runs need the store layout and accumulation dtype in the record."""
+        summary = prepared_store.summary()
+        assert summary["layout"] == prepared_store.store.layout
+        assert summary["accumulate_dtype"] == prepared_store.config.accumulate_dtype
+        assert summary["mode"] == "in_core"
+        assert {"operator_seconds", "propagate_seconds", "store_write_seconds"} <= set(summary)
 
     def test_estimated_flops_positive(self, small_dataset):
         pipeline = PreprocessingPipeline(PropagationConfig(num_hops=2))

@@ -122,3 +122,91 @@ class TestCli:
             check_regression.main(
                 ["--baseline", str(base), "--fresh", str(base), "--tolerance", "1.5"]
             )
+
+
+@pytest.fixture()
+def preprocessing_baseline() -> dict:
+    return {
+        "mem_reduction_target": 4.0,
+        "wall_ratio_limit": 1.2,
+        "results": {
+            "in_core": {"wall_seconds": 1.4, "peak_traced_bytes": 150_000_000},
+            "blocked": {
+                "wall_seconds": 1.3,
+                "peak_traced_bytes": 20_000_000,
+                "mem_reduction_vs_in_core": 7.5,
+                "wall_ratio_vs_in_core": 0.93,
+            },
+        },
+    }
+
+
+class TestComparePreprocessing:
+    def test_identical_results_pass(self, preprocessing_baseline):
+        fresh = copy.deepcopy(preprocessing_baseline)
+        assert check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2) == []
+
+    def test_noise_above_target_passes(self, preprocessing_baseline):
+        # 7.5x baseline is far above the 4x target; 5x is noise, not regression
+        fresh = copy.deepcopy(preprocessing_baseline)
+        fresh["results"]["blocked"]["mem_reduction_vs_in_core"] = 5.0
+        assert check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2) == []
+
+    def test_degraded_memory_reduction_fails(self, preprocessing_baseline):
+        fresh = copy.deepcopy(preprocessing_baseline)
+        fresh["results"]["blocked"]["mem_reduction_vs_in_core"] = 2.0
+        failures = check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2)
+        assert any("mem_reduction_vs_in_core" in f for f in failures)
+
+    def test_inflated_wall_ratio_fails(self, preprocessing_baseline):
+        fresh = copy.deepcopy(preprocessing_baseline)
+        fresh["results"]["blocked"]["wall_ratio_vs_in_core"] = 2.5
+        failures = check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2)
+        assert any("wall_ratio_vs_in_core" in f for f in failures)
+
+    def test_wall_ratio_noise_below_limit_passes(self, preprocessing_baseline):
+        # 1.3 is above the 0.93 baseline but within tolerance of the 1.2
+        # limit-capped baseline (max(0.93, 1.2) * 1.2 = 1.44)
+        fresh = copy.deepcopy(preprocessing_baseline)
+        fresh["results"]["blocked"]["wall_ratio_vs_in_core"] = 1.3
+        assert check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2) == []
+
+    def test_missing_metric_fails(self, preprocessing_baseline):
+        fresh = copy.deepcopy(preprocessing_baseline)
+        del fresh["results"]["blocked"]["mem_reduction_vs_in_core"]
+        failures = check_regression.compare_preprocessing(preprocessing_baseline, fresh, 0.2)
+        assert any("missing" in f for f in failures)
+
+    def test_legacy_baseline_without_metric_is_not_gated(self, preprocessing_baseline):
+        legacy = copy.deepcopy(preprocessing_baseline)
+        del legacy["results"]["blocked"]["mem_reduction_vs_in_core"]
+        fresh = copy.deepcopy(preprocessing_baseline)
+        fresh["results"]["blocked"]["mem_reduction_vs_in_core"] = 0.1
+        assert check_regression.compare_preprocessing(legacy, fresh, 0.2) == []
+
+    def test_cli_kind_preprocessing(self, preprocessing_baseline, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(preprocessing_baseline))
+        degraded = copy.deepcopy(preprocessing_baseline)
+        degraded["results"]["blocked"]["mem_reduction_vs_in_core"] = 1.5
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(degraded))
+        code = check_regression.main(
+            ["--baseline", str(base), "--fresh", str(fresh), "--kind", "preprocessing"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+        # the loaders gate must not misfire on preprocessing JSON: the same
+        # degraded file is invisible under the default --kind loaders
+        code = check_regression.main(["--baseline", str(base), "--fresh", str(fresh)])
+        assert code == 0
+        # and an undegraded preprocessing baseline passes its own gate
+        code = check_regression.main(
+            ["--baseline", str(base), "--fresh", str(base), "--kind", "preprocessing"]
+        )
+        assert code == 0
+
+    def test_real_committed_baseline_passes_against_itself(self):
+        committed = Path(__file__).parent.parent / "BENCH_preprocessing.json"
+        payload = json.loads(committed.read_text())
+        assert check_regression.compare_preprocessing(payload, copy.deepcopy(payload), 0.2) == []
