@@ -29,7 +29,16 @@ def no_leaked_shm_segments():
     Segments outlive crashed processes, so a missed unlink silently eats host
     memory across CI runs; this guard turns that into a test failure at the
     offending test instead of an eventual out-of-memory elsewhere.
+
+    Setup first runs the shared-memory janitor
+    (:func:`repro.resilience.janitor.sweep_orphans`): segments whose creator
+    pid is dead — e.g. left by a SIGKILLed fault-injection worker in an
+    earlier test — are unlinked so one killed process cannot poison the leak
+    accounting of every later test.
     """
+    from repro.resilience.janitor import sweep_orphans
+
+    sweep_orphans()
     before = _ppgnn_shm_entries()
     yield
     leaked = _ppgnn_shm_entries() - before

@@ -111,6 +111,11 @@ class PrefetchLoader:
         """Total time the consumer has spent blocked on the queue."""
         return self.timing.buckets.get("prefetch_wait", 0.0)
 
+    @property
+    def counters(self):
+        """Resilience counters of a wrapped self-healing loader (None otherwise)."""
+        return getattr(self.loader, "counters", None)
+
     # ------------------------------------------------------------------ #
     def _produce(
         self,

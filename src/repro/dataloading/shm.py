@@ -137,6 +137,13 @@ def _unlink_quietly(segment: Optional[shared_memory.SharedMemory]) -> None:
         segment.close()
     except Exception:  # pragma: no cover
         pass
+    # fault site for the janitor tests: a "leak" here skips the unlink, which
+    # is exactly what a SIGKILLed owner does (finalizers never ran)
+    from repro.resilience.faultinject import fault_point
+
+    leaked = fault_point("shm.unlink", name=segment.name)
+    if leaked is not None and leaked.kind == "leak":
+        return
     try:
         segment.unlink()
     except FileNotFoundError:

@@ -25,33 +25,56 @@ Guarantees:
   its usual ring-size check.
 * **Robust teardown.** ``close()`` (or context-manager exit, or the
   ``weakref.finalize``/atexit fallback) stops workers and unlinks every
-  shared segment; a worker that dies mid-epoch (crash, OOM-kill, SIGKILL)
-  surfaces as a ``RuntimeError`` on the consumer instead of a hang.
+  shared segment.
+* **Fail-fast or self-heal, never hang.** Without a
+  :class:`~repro.resilience.supervisor.SupervisorPolicy` a worker that dies
+  mid-epoch (crash, OOM-kill, SIGKILL) surfaces as a ``RuntimeError``
+  carrying its exit code and last-heartbeat age.  With a policy, crashed
+  *and stalled* workers (heartbeat-dead past the policy's deadlines) are
+  SIGKILLed and respawned with exponential backoff; the replacement is
+  handed the dead worker's unfinished shard on fresh queues, and
+  generation-tagged results keep slots consistent across the swap.  Once
+  the respawn budget is exhausted the loader degrades gracefully: the
+  parent assembles the failed worker's batches in-process from the same
+  shared store — the epoch still completes, bit-identically, just slower.
+  Everything the supervisor did is tallied in
+  :class:`~repro.resilience.supervisor.ResilienceCounters` (``.counters``).
 
 Deadlock-freedom sketch: worker ``w`` owns ``keep + 1`` private slots, so the
 consumer's valid-window can pin at most ``keep`` of them while one remains
 for the batch being assembled; because each worker completes its shard in
 order and the consumer yields in global order, the batch the consumer waits
-for is always the owning worker's next completion.
+for is always the owning worker's next completion.  Recovery preserves the
+invariant: a replacement inherits exactly its predecessor's slot range
+(minus slots the consumer still pins, which flow back through the usual
+release path), its predecessor's stale results are dropped *without*
+releasing their reclaimed slots, and a degraded worker's batches bypass the
+ring entirely.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue
 import signal
 import time
 import traceback
 from collections import deque
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Set
 
 import numpy as np
 import weakref
 
 from repro.dataloading.loaders import PPGNNBatch, PPGNNLoader
 from repro.dataloading.shm import SharedPackedStore, SlotRing, attach_slots, attach_store
+from repro.resilience.faultinject import FaultPlan, fault_point
+from repro.resilience.supervisor import ResilienceCounters, SupervisorPolicy
+from repro.utils.logging import get_logger
 from repro.utils.mp import default_start_method
 from repro.utils.timer import TimeAccumulator
+
+logger = get_logger("dataloading.workers")
 
 __all__ = ["MultiProcessLoader"]
 
@@ -71,6 +94,8 @@ def _worker_main(
     result_queue,
     free_queue,
     stop_event,
+    heartbeats,
+    fault_plan: Optional[FaultPlan],
 ) -> None:
     """Worker process body: attach shared state, assemble assigned batches."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # shutdown is the parent's call
@@ -79,16 +104,18 @@ def _worker_main(
     slots = slot_attachment.array
     try:
         while not stop_event.is_set():
+            heartbeats[worker_id] = time.monotonic()
             try:
                 task = task_queue.get(timeout=_POLL_SECONDS)
             except queue.Empty:
                 continue
             if task is None:
                 break
-            epoch_id, assignments = task
+            epoch_id, generation, assignments = task
             for batch_index, rows in assignments:
                 slot_id = None
                 while not stop_event.is_set():
+                    heartbeats[worker_id] = time.monotonic()
                     try:
                         slot_id = free_queue.get(timeout=_POLL_SECONDS)
                         break
@@ -96,11 +123,32 @@ def _worker_main(
                         continue
                 if slot_id is None:
                     return
+                heartbeats[worker_id] = time.monotonic()
+                # deterministic fault injection: a "kill" here is SIGKILL
+                # before any result is queued, a "stall" stops the heartbeat
+                fault_point(
+                    "loader.worker.batch",
+                    plan=fault_plan,
+                    worker_id=worker_id,
+                    epoch_id=epoch_id,
+                    generation=generation,
+                    batch_index=batch_index,
+                )
                 began = time.perf_counter()
                 store.gather_into(rows, slots[slot_id, :, : rows.size])
                 elapsed = time.perf_counter() - began
+                heartbeats[worker_id] = time.monotonic()
                 result_queue.put(
-                    (_BATCH, worker_id, epoch_id, batch_index, slot_id, rows.size, elapsed)
+                    (
+                        _BATCH,
+                        worker_id,
+                        generation,
+                        epoch_id,
+                        batch_index,
+                        slot_id,
+                        rows.size,
+                        elapsed,
+                    )
                 )
     except BaseException:
         try:
@@ -114,7 +162,12 @@ def _worker_main(
 
 
 def _teardown(stop_event, parent_queues, processes, shared_store, slot_ring) -> None:
-    """Stop workers and unlink shared segments (idempotent; also runs at exit)."""
+    """Stop workers and unlink shared segments (idempotent; also runs at exit).
+
+    ``parent_queues`` holds the loader's *live* queue lists (recovery swaps
+    individual queues in place), so respawned workers and their fresh queues
+    are torn down just like the originals.
+    """
     stop_event.set()
     task_queues = parent_queues[0]
     for task_queue in task_queues:
@@ -165,6 +218,16 @@ class MultiProcessLoader:
     start_method:
         ``multiprocessing`` start method; default prefers ``fork`` (cheap,
         shares the parent's imports) and falls back to ``spawn``.
+    policy:
+        ``None`` (default) fails fast on a dead worker.  A
+        :class:`~repro.resilience.supervisor.SupervisorPolicy` turns on
+        self-healing: crash/stall detection, bounded respawns with
+        exponential backoff, and graceful in-process degradation once the
+        respawn budget is spent.  Batch bytes and order are identical either
+        way.
+    fault_plan:
+        Deterministic fault injection (tests only); forwarded into worker
+        processes and consulted at ``loader.worker.batch``.
     """
 
     def __init__(
@@ -174,6 +237,8 @@ class MultiProcessLoader:
         keep: int = 2,
         timeout_seconds: float = 60.0,
         start_method: Optional[str] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not hasattr(loader, "epoch_schedule"):
             # e.g. an already-wrapped MultiProcessLoader or PrefetchLoader:
@@ -193,15 +258,26 @@ class MultiProcessLoader:
         self.num_workers = num_workers
         self.keep = keep
         self.timeout_seconds = timeout_seconds
+        self.policy = policy
+        self.fault_plan = fault_plan
         self.timing = TimeAccumulator()
+        #: what the supervisor did over this loader's lifetime
+        self.counters = ResilienceCounters()
         #: worker-side per-batch assembly seconds for the last epoch
         self.assembly_times: List[float] = []
         #: consumer-side per-batch result-wait seconds for the last epoch
         self.wait_times: List[float] = []
         self._epoch_id = 0
         self._closed = False
+        #: per-worker incarnation number; results from older incarnations are
+        #: dropped without slot release (their slots were reclaimed at respawn)
+        self._generations = [0] * num_workers
+        #: workers retired for good (respawn budget spent); their shards are
+        #: assembled in-process by the parent
+        self._degraded: Set[int] = set()
+        self._parent_store = None  # lazy attach for degraded-mode assembly
 
-        ctx = mp.get_context(default_start_method(start_method))
+        self._ctx = ctx = mp.get_context(default_start_method(start_method))
 
         store = loader.store
         self._shared_store = SharedPackedStore(store)
@@ -217,28 +293,16 @@ class MultiProcessLoader:
         self._result_queue = ctx.Queue()
         self._task_queues = [ctx.Queue() for _ in range(num_workers)]
         self._free_queues = [ctx.Queue() for _ in range(num_workers)]
+        #: last time.monotonic() each worker proved liveness (shared doubles)
+        self._heartbeats = ctx.Array("d", num_workers, lock=False)
+        now = time.monotonic()
         for worker_id, free_queue in enumerate(self._free_queues):
+            self._heartbeats[worker_id] = now
             for slot in range(
                 worker_id * self._slots_per_worker, (worker_id + 1) * self._slots_per_worker
             ):
                 free_queue.put(slot)
-        self._processes = [
-            ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    self._shared_store.handle,
-                    self._slot_ring.handle,
-                    self._task_queues[worker_id],
-                    self._result_queue,
-                    self._free_queues[worker_id],
-                    self._stop,
-                ),
-                name=f"ppgnn-loader-{worker_id}",
-                daemon=True,
-            )
-            for worker_id in range(num_workers)
-        ]
+        self._processes = [self._spawn_worker(worker_id) for worker_id in range(num_workers)]
         for process in self._processes:
             process.start()
         self._finalizer = weakref.finalize(
@@ -249,6 +313,24 @@ class MultiProcessLoader:
             self._processes,
             self._shared_store,
             self._slot_ring,
+        )
+
+    def _spawn_worker(self, worker_id: int):
+        return self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._shared_store.handle,
+                self._slot_ring.handle,
+                self._task_queues[worker_id],
+                self._result_queue,
+                self._free_queues[worker_id],
+                self._stop,
+                self._heartbeats,
+                self.fault_plan,
+            ),
+            name=f"ppgnn-loader-{worker_id}",
+            daemon=True,
         )
 
     # ------------------------------------------------------------------ #
@@ -296,27 +378,134 @@ class MultiProcessLoader:
         except ValueError:  # raced with close(): nothing left to recycle into
             pass
 
+    def _heartbeat_age(self, worker_id: int) -> float:
+        return time.monotonic() - self._heartbeats[worker_id]
+
     def _check_workers(self) -> None:
-        for process in self._processes:
+        """Fail-fast posture: a dead worker is a loud, diagnosable error."""
+        for worker_id, process in enumerate(self._processes):
+            if worker_id in self._degraded:
+                continue
             if not process.is_alive():
                 raise RuntimeError(
                     f"loader worker {process.name} died with exit code {process.exitcode} "
-                    "mid-epoch; batch assembly cannot continue"
+                    f"mid-epoch (last heartbeat {self._heartbeat_age(worker_id):.1f}s ago); "
+                    "batch assembly cannot continue"
                 )
 
-    def _next_result(self):
-        """Pop one result message; surface dead workers instead of hanging."""
-        deadline = time.monotonic() + self.timeout_seconds
+    def _failed_workers(self, wait_seconds: float) -> List[tuple]:
+        """(worker_id, reason) for every worker currently dead or stalled."""
+        failed = []
+        for worker_id, process in enumerate(self._processes):
+            if worker_id in self._degraded:
+                continue
+            if not process.is_alive():
+                failed.append((worker_id, "crash"))
+            elif (
+                wait_seconds > self.policy.batch_deadline_seconds
+                and self._heartbeat_age(worker_id) > self.policy.stall_timeout_seconds
+            ):
+                failed.append((worker_id, "stall"))
+        return failed
+
+    def _recover_worker(self, worker_id: int, reason: str, epoch_id, shards, done, pinned):
+        """SIGKILL + respawn the worker (or retire it once the budget is spent).
+
+        Returns the messages drained off the result queue during the swap —
+        the caller re-processes them (survivors' results are still valid;
+        the dead incarnation's are dropped by the generation check).
+        """
+        process = self._processes[worker_id]
+        if reason == "stall":
+            self.counters.worker_stalls += 1
+            logger.warning(
+                "loader worker %s stalled (heartbeat %.1fs old); killing it",
+                process.name,
+                self._heartbeat_age(worker_id),
+            )
+            if process.is_alive():
+                try:
+                    os.kill(process.pid, signal.SIGKILL)
+                except ProcessLookupError:  # pragma: no cover - exited just now
+                    pass
+        else:
+            self.counters.worker_crashes += 1
+            logger.warning(
+                "loader worker %s died with exit code %s", process.name, process.exitcode
+            )
+        process.join(timeout=5.0)
+        # messages already queued stay valid for survivors; the failed
+        # incarnation's are invalidated below by its generation bump
+        leftovers = []
         while True:
             try:
-                return self._result_queue.get(timeout=_POLL_SECONDS)
+                leftovers.append(self._result_queue.get_nowait())
             except queue.Empty:
-                self._check_workers()
-                if time.monotonic() >= deadline:
-                    raise RuntimeError(
-                        f"timed out after {self.timeout_seconds}s waiting for a batch "
-                        "from the loader workers"
-                    )
+                break
+        if self.counters.respawns >= self.policy.max_respawns:
+            logger.warning(
+                "respawn budget (%d) spent; degrading worker %d to in-process assembly",
+                self.policy.max_respawns,
+                worker_id,
+            )
+            self._degraded.add(worker_id)
+            self._generations[worker_id] += 1
+            return leftovers
+        self.counters.respawns += 1
+        backoff = self.policy.backoff_for(self.counters.respawns)
+        if backoff > 0:
+            time.sleep(backoff)
+        self._generations[worker_id] += 1
+        generation = self._generations[worker_id]
+        # fresh queues for the replacement: anything in the old ones (an
+        # unconsumed task, in-flight slot returns) belongs to the dead
+        # incarnation and must not leak into the new one
+        for old in (self._task_queues[worker_id], self._free_queues[worker_id]):
+            old.cancel_join_thread()
+            old.close()
+        self._task_queues[worker_id] = self._ctx.Queue()
+        self._free_queues[worker_id] = self._ctx.Queue()
+        # the replacement inherits its predecessor's slot range, except slots
+        # the consumer still pins (those flow back through _release later)
+        base = worker_id * self._slots_per_worker
+        for slot in range(base, base + self._slots_per_worker):
+            if slot not in pinned:
+                self._free_queues[worker_id].put(slot)
+        self._heartbeats[worker_id] = time.monotonic()
+        replacement = self._spawn_worker(worker_id)
+        self._processes[worker_id] = replacement
+        replacement.start()
+        remaining = [(i, rows) for i, rows in shards[worker_id] if i not in done]
+        if remaining:
+            self.counters.requeued_batches += len(remaining)
+            self._task_queues[worker_id].put((epoch_id, generation, remaining))
+        logger.info(
+            "respawned loader worker %d (respawn %d/%d, generation %d, %d batch(es) requeued)",
+            worker_id,
+            self.counters.respawns,
+            self.policy.max_respawns,
+            generation,
+            len(remaining),
+        )
+        return leftovers
+
+    def _assemble_inline(self, rows: np.ndarray) -> PPGNNBatch:
+        """Degraded-mode assembly in the parent: same gather, same bytes."""
+        if self._parent_store is None:
+            self._parent_store = attach_store(self._shared_store.handle)
+        store = self.loader.store
+        block = np.empty(
+            (store.num_matrices, rows.size, store.feature_dim), dtype=store.dtype
+        )
+        began = time.perf_counter()
+        self._parent_store.gather_into(rows, block)
+        elapsed = time.perf_counter() - began
+        self.counters.inline_batches += 1
+        self.assembly_times.append(elapsed)
+        self.timing.add("batch_assembly", elapsed)
+        return PPGNNBatch(
+            row_indices=rows, hop_features=list(block), labels=self.labels[rows]
+        )
 
     def _drain_stale(self) -> None:
         """Recycle slots of results left over from an abandoned epoch."""
@@ -325,8 +514,8 @@ class MultiProcessLoader:
                 message = self._result_queue.get_nowait()
             except queue.Empty:
                 return
-            if message[0] == _BATCH:
-                self._release(message[4])
+            if message[0] == _BATCH and message[2] == self._generations[message[1]]:
+                self._release(message[5])
 
     def epoch(self) -> Iterator[PPGNNBatch]:
         """Yield one epoch of batches, assembled by the worker pool in order."""
@@ -339,41 +528,82 @@ class MultiProcessLoader:
         self.assembly_times = []
         self.wait_times = []
         self._drain_stale()
-        for worker_id, task_queue in enumerate(self._task_queues):
+        shards = {}
+        for worker_id in range(self.num_workers):
             shard = [(i, batches[i]) for i in range(worker_id, len(batches), self.num_workers)]
-            task_queue.put((epoch_id, shard))
+            shards[worker_id] = shard
+            if worker_id not in self._degraded and shard:
+                self._task_queues[worker_id].put(
+                    (epoch_id, self._generations[worker_id], shard)
+                )
         pending: dict[int, tuple[int, int]] = {}
         holds: deque[int] = deque()
+        done: Set[int] = set()
+
+        def handle(message) -> None:
+            if message[0] == _ERROR:
+                _, worker_id, worker_traceback = message
+                raise RuntimeError(
+                    f"loader worker {worker_id} raised during batch assembly:\n"
+                    f"{worker_traceback}"
+                )
+            _, worker_id, generation, result_epoch, batch_index, slot_id, num_rows, elapsed = (
+                message
+            )
+            if generation != self._generations[worker_id]:
+                return  # dead incarnation: its slot was reclaimed at respawn
+            if result_epoch != epoch_id:  # abandoned-epoch leftover
+                self._release(slot_id)
+                return
+            pending[batch_index] = (slot_id, num_rows)
+            done.add(batch_index)
+            self.assembly_times.append(elapsed)
+            self.timing.add("batch_assembly", elapsed)
+
         try:
             for index in range(len(batches)):
                 began = time.perf_counter()
+                owner = index % self.num_workers
+                deadline = time.monotonic() + self.timeout_seconds
                 while index not in pending:
-                    message = self._next_result()
-                    if message[0] == _ERROR:
-                        _, worker_id, worker_traceback = message
-                        raise RuntimeError(
-                            f"loader worker {worker_id} raised during batch assembly:\n"
-                            f"{worker_traceback}"
-                        )
-                    _, _, result_epoch, batch_index, slot_id, num_rows, elapsed = message
-                    if result_epoch != epoch_id:  # abandoned-epoch leftover
-                        self._release(slot_id)
+                    if owner in self._degraded:
+                        break  # assembled inline below
+                    try:
+                        message = self._result_queue.get(timeout=_POLL_SECONDS)
+                    except queue.Empty:
+                        if self.policy is None:
+                            self._check_workers()
+                        else:
+                            waited = time.perf_counter() - began
+                            for worker_id, reason in self._failed_workers(waited):
+                                pinned = {slot for slot, _ in pending.values()} | set(holds)
+                                for leftover in self._recover_worker(
+                                    worker_id, reason, epoch_id, shards, done, pinned
+                                ):
+                                    handle(leftover)
+                        if time.monotonic() >= deadline:
+                            raise RuntimeError(
+                                f"timed out after {self.timeout_seconds}s waiting for a "
+                                "batch from the loader workers"
+                            )
                         continue
-                    pending[batch_index] = (slot_id, num_rows)
-                    self.assembly_times.append(elapsed)
-                    self.timing.add("batch_assembly", elapsed)
+                    handle(message)
                 waited = time.perf_counter() - began
                 self.wait_times.append(waited)
                 self.timing.add("mp_wait", waited)
-                slot_id, num_rows = pending.pop(index)
-                holds.append(slot_id)
-                while len(holds) > self.keep:
-                    self._release(holds.popleft())
                 rows = batches[index]
-                block = self._slot_ring.slots[slot_id, :, :num_rows]
-                yield PPGNNBatch(
-                    row_indices=rows, hop_features=list(block), labels=self.labels[rows]
-                )
+                if index in pending:
+                    slot_id, num_rows = pending.pop(index)
+                    holds.append(slot_id)
+                    while len(holds) > self.keep:
+                        self._release(holds.popleft())
+                    block = self._slot_ring.slots[slot_id, :, :num_rows]
+                    yield PPGNNBatch(
+                        row_indices=rows, hop_features=list(block), labels=self.labels[rows]
+                    )
+                else:
+                    done.add(index)
+                    yield self._assemble_inline(rows)
         finally:
             # early break / exception: recycle every slot we still account for;
             # results still in flight are tagged with this (now stale) epoch id
@@ -387,6 +617,9 @@ class MultiProcessLoader:
     def close(self) -> None:
         """Stop the workers and unlink all shared-memory segments (idempotent)."""
         self._closed = True
+        if self._parent_store is not None:
+            self._parent_store.close()
+            self._parent_store = None
         if self._finalizer.alive:
             self._finalizer()
 

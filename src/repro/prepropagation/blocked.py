@@ -35,6 +35,23 @@ Synchronization in the parallel path is phase-barriered: hop ``r`` of kernel
 before dispatching hop ``r + 1`` (which reads the scratch rows hop ``r``
 wrote).  Workers and parent map the same files ``MAP_SHARED``, so the queue
 hand-off establishes the required happens-before.
+
+Checkpoint/resume
+-----------------
+With ``resume=True`` (requires a persistent ``root``) the run becomes
+crash-safe: the staging directory is deterministic (``.<name>.staging`` next
+to the store root, with the hop scratch inside it) and every completed
+``(kernel, hop)`` phase is appended to an fsync'd journal together with
+content digests of what it wrote (:mod:`repro.resilience.checkpoint`).  A
+crash — OOM-kill, preemption, an injected fault — leaves the staging
+directory behind; rerunning with ``resume=True`` validates the journal
+against the run fingerprint (graph + features + config + node ids + layout),
+verifies the digests of every journaled phase (torn writes truncate the
+trusted prefix; a torn scratch file rolls the owning kernel back to hop 1),
+recomputes only the phases past the trusted prefix, and produces a store
+**byte-identical** to an uninterrupted run.  A fingerprint mismatch (the
+graph, features, config or layout changed) silently invalidates the stale
+staging state and starts fresh.
 """
 
 from __future__ import annotations
@@ -58,6 +75,13 @@ from repro.graph.csr import CSRGraph
 from repro.graph.operators import build_operator, operator_row_block
 from repro.prepropagation.propagator import PropagationConfig
 from repro.prepropagation.store import STORE_LAYOUTS, FeatureStore, HopFeatures, store_meta
+from repro.resilience.checkpoint import (
+    PhaseJournal,
+    RunManifest,
+    digest_array,
+    digest_parts,
+)
+from repro.resilience.faultinject import FaultPlan, fault_point
 from repro.utils.logging import get_logger
 from repro.utils.mp import default_start_method
 from repro.utils.timer import Timer
@@ -108,6 +132,31 @@ def _open_sink(spec: _SinkSpec) -> List[np.ndarray]:
     return [_open_array(array_spec) for array_spec in spec.arrays]
 
 
+def _open_or_create_memmap(path: Path, shape: Tuple[int, ...], dtype: np.dtype, reuse: bool):
+    """``.npy`` memmap that survives resume: re-open when compatible, else create.
+
+    ``mode="w+"`` truncates, so a resumed run must *not* go through it for
+    files holding journaled phase output.
+    """
+    if reuse and path.exists():
+        try:
+            existing = np.load(path, mmap_mode="r+")
+            if existing.shape == tuple(shape) and existing.dtype == dtype:
+                return existing
+            del existing
+        except (ValueError, OSError):
+            pass  # damaged header: recreate below (journal digests catch the rest)
+    return np.lib.format.open_memmap(path, mode="w+", dtype=dtype, shape=shape)
+
+
+def _open_or_create_raw(path: Path, shape: Tuple[int, ...], dtype: np.dtype, reuse: bool):
+    """Raw scratch memmap that preserves its bytes across a resume."""
+    nbytes = int(np.prod(shape)) * dtype.itemsize
+    if reuse and path.exists() and path.stat().st_size == nbytes:
+        return np.memmap(path, dtype=dtype, mode="r+", shape=shape)
+    return np.memmap(path, dtype=dtype, mode="w+", shape=shape)
+
+
 # --------------------------------------------------------------------------- #
 def _hop_source_tag(hop: int) -> str:
     """Scratch-dict key holding the input of hop ``hop`` (>= 1)."""
@@ -130,6 +179,7 @@ def _run_phase(
     sink_mats: List[np.ndarray],
     sources: Dict[str, np.ndarray],
     dtype: np.dtype,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[float, float]:
     """Compute one (kernel, hop) phase over ``blocks``.
 
@@ -145,6 +195,13 @@ def _run_phase(
         for start, stop in blocks:
             lo, hi = np.searchsorted(node_ids, (start, stop))
             if hi > lo:
+                fault_point(
+                    "blocked.scratch.write",
+                    plan=fault_plan,
+                    kernel=kernel,
+                    hop=hop,
+                    block_start=start,
+                )
                 began = time.perf_counter()
                 dest_mat[lo:hi] = features[node_ids[lo:hi]].astype(dtype, copy=False)
                 write_seconds += time.perf_counter() - began
@@ -159,6 +216,13 @@ def _run_phase(
             # the SpMM result (big win on sparsely-labeled graphs, where most
             # last-hop blocks store nothing)
             continue
+        fault_point(
+            "blocked.scratch.write",
+            plan=fault_plan,
+            kernel=kernel,
+            hop=hop,
+            block_start=start,
+        )
         began = time.perf_counter()
         block = operator_row_block(operator, start, stop) @ source
         if dest is not None:
@@ -183,6 +247,7 @@ def _worker_main(
     dtype_str: str,
     sink_spec: _SinkSpec,
     scratch_specs: Dict[str, Optional[_ArraySpec]],
+    fault_plan: Optional[FaultPlan],
     task_queue,
     result_queue,
     stop_event,
@@ -220,6 +285,7 @@ def _worker_main(
                 sink_mats,
                 sources,
                 dtype,
+                fault_plan=fault_plan,
             )
             result_queue.put((_DONE, worker_id, kernel, hop, spmm_seconds, write_seconds))
     except BaseException:
@@ -315,6 +381,94 @@ class _WorkerPool:
 
 
 # --------------------------------------------------------------------------- #
+def _run_fingerprint(
+    graph: CSRGraph,
+    features: np.ndarray,
+    config: PropagationConfig,
+    node_ids: np.ndarray,
+    layout: str,
+) -> str:
+    """Identity of a resumable run: any change here invalidates stale staging.
+
+    Deliberately excludes ``block_size`` and ``num_workers`` — both change
+    only the tiling/scheduling of the computation, never its bytes, so a run
+    may resume with a different block plan or worker count.
+    """
+    parts = {
+        "indptr": digest_array(graph.indptr),
+        "indices": digest_array(graph.indices),
+        "edge_weight": (
+            "none" if graph.edge_weight is None else digest_array(graph.edge_weight)
+        ),
+        "features": digest_array(features),
+        "node_ids": digest_array(node_ids),
+        "num_hops": config.num_hops,
+        "operators": ",".join(config.operators),
+        "operator_kwargs": json.dumps(
+            [config.kwargs_for(k) for k in range(config.num_kernels)], sort_keys=True
+        ),
+        "dtype": str(np.dtype(config.dtype)),
+        "accumulate_dtype": str(np.dtype(config.accumulate_dtype)),
+        "layout": layout,
+    }
+    return digest_parts(parts)
+
+
+def _trusted_journal_prefix(
+    journal: PhaseJournal,
+    phases: List[Tuple[int, int]],
+    sink_mats: List[np.ndarray],
+    sources: Dict[str, np.ndarray],
+    num_hops: int,
+) -> List[dict]:
+    """Longest journal prefix whose recorded digests match the bytes on disk.
+
+    Torn store writes truncate the prefix at the damaged phase; a torn
+    scratch file (the input of the first phase to recompute) rolls the
+    owning kernel back to hop 1, because hops >= 2 of a kernel can only be
+    recomputed from that kernel's scratch chain (hop 0/1 read the features).
+    """
+    entries = journal.entries()
+    trusted: List[dict] = []
+    for index, entry in enumerate(entries):
+        if index >= len(phases):
+            break
+        kernel, hop = phases[index]
+        if entry.get("kernel") != kernel or entry.get("hop") != hop:
+            break
+        matrix = sink_mats[kernel * (num_hops + 1) + hop]
+        if digest_array(matrix) != entry.get("store_digest"):
+            logger.warning(
+                "resume: torn store write detected at phase (kernel %d, hop %d); "
+                "recomputing from there",
+                kernel,
+                hop,
+            )
+            break
+        trusted.append(entry)
+    next_index = len(trusted)
+    if next_index < len(phases):
+        kernel, hop = phases[next_index]
+        if hop >= 2:
+            previous = trusted[next_index - 1]  # phase (kernel, hop - 1)
+            tag = previous.get("scratch_tag")
+            intact = (
+                tag is not None
+                and tag in sources
+                and digest_array(sources[tag]) == previous.get("scratch_digest")
+            )
+            if not intact:
+                logger.warning(
+                    "resume: scratch for (kernel %d, hop %d) is torn; "
+                    "recomputing kernel %d from hop 1",
+                    kernel,
+                    hop,
+                    kernel,
+                )
+                trusted = trusted[: kernel * (num_hops + 1) + 1]
+    return trusted
+
+
 def propagate_blocked(
     graph: CSRGraph,
     features: np.ndarray,
@@ -327,6 +481,8 @@ def propagate_blocked(
     scratch_dir: Optional[Path] = None,
     start_method: Optional[str] = None,
     timeout_seconds: float = 600.0,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[FeatureStore, dict]:
     """Blocked out-of-core propagation straight into a feature store.
 
@@ -349,6 +505,15 @@ def propagate_blocked(
     num_workers:
         ``0`` runs blocks inline; ``K >= 1`` fans phases out over ``K``
         processes writing disjoint row ranges of the shared files.
+    resume:
+        Journal completed phases (fsync'd, digest-guarded) into a persistent
+        staging directory next to ``root`` and, when such a journal already
+        exists for the same run fingerprint, skip the journaled phases.  The
+        resumed output is byte-identical to an uninterrupted run.  Requires
+        ``root``.
+    fault_plan:
+        Deterministic fault injection (tests only); forwarded into the
+        worker processes.
 
     Returns
     -------
@@ -357,9 +522,10 @@ def propagate_blocked(
         (operator construction), ``propagate_seconds`` (SpMM + scratch
         staging; includes the one-time accumulation-dtype cast of the
         features), ``store_write_seconds`` (labeled-row streaming into the
-        store files) and ``total_seconds`` (wall clock).  With workers the
-        SpMM/write entries are summed across processes and may exceed wall
-        time.
+        store files), ``total_seconds`` (wall clock), and the resume
+        counters ``phases_total`` / ``phases_resumed`` / ``phases_computed``.
+        With workers the SpMM/write entries are summed across processes and
+        may exceed wall time.
 
     Results are bit-identical to the in-core
     :func:`~repro.prepropagation.propagator.propagate_features` path for any
@@ -380,6 +546,8 @@ def propagate_blocked(
         raise ValueError("block_size must be positive")
     if num_workers < 0:
         raise ValueError("num_workers must be non-negative")
+    if resume and root is None:
+        raise ValueError("resume=True requires a persistent root for the journal")
     node_ids = np.asarray(node_ids, dtype=np.int64)
     if node_ids.size == 0:
         raise ValueError("blocked propagation requires at least one stored row")
@@ -400,6 +568,7 @@ def propagate_blocked(
         (start, min(start + block_size, num_nodes))
         for start in range(0, num_nodes, block_size)
     ]
+    phases = [(k, hop) for k in range(num_kernels) for hop in range(num_hops + 1)]
 
     operator_timer = Timer()
     spmm_seconds = 0.0
@@ -413,11 +582,51 @@ def propagate_blocked(
                 operator = operator.astype(accumulate_dtype)
         operators.append(operator)
 
-    scratch_root = Path(tempfile.mkdtemp(prefix="ppgnn-propagate-", dir=scratch_dir))
+    # ---------------- staging / scratch / journal roots -------------------- #
+    journal: Optional[PhaseJournal] = None
+    resuming = False  # a valid journal for this fingerprint was found
+    if resume:
+        store_root = Path(root)
+        store_root.parent.mkdir(parents=True, exist_ok=True)
+        staging_root = store_root.parent / f".{store_root.name}.staging"
+        journal = PhaseJournal(staging_root)
+        fingerprint = _run_fingerprint(graph, features, config, node_ids, layout)
+        manifest = journal.load_manifest()
+        if manifest is not None and manifest.fingerprint == fingerprint:
+            resuming = True
+        else:
+            if manifest is not None:
+                logger.info(
+                    "resume: staging at %s belongs to a different run; invalidating",
+                    staging_root,
+                )
+            if staging_root.exists():
+                shutil.rmtree(staging_root, ignore_errors=True)
+            staging_root.mkdir(parents=True, exist_ok=True)
+            journal.write_manifest(
+                RunManifest(
+                    fingerprint=fingerprint,
+                    layout=layout,
+                    num_kernels=num_kernels,
+                    num_hops=num_hops,
+                    num_rows=num_rows,
+                    feature_dim=feature_dim,
+                    dtype=dtype.str,
+                    accumulate_dtype=accumulate_dtype.str,
+                    block_size=int(block_size),
+                )
+            )
+        scratch_root = staging_root / "scratch"
+        scratch_root.mkdir(parents=True, exist_ok=True)
+    else:
+        staging_root = None
+        scratch_root = Path(tempfile.mkdtemp(prefix="ppgnn-propagate-", dir=scratch_dir))
+
     start_method = default_start_method(start_method)
     pool: Optional[_WorkerPool] = None
-    staging_root: Optional[Path] = None
     completed = False
+    phases_resumed = 0
+    phases_computed = 0
     try:
         # ---------------- scratch buffers (disk-backed, never in RAM) ------ #
         scratch_specs: Dict[str, Optional[_ArraySpec]] = {}
@@ -427,7 +636,9 @@ def propagate_blocked(
             features.dtype != accumulate_dtype or not features.flags.c_contiguous
         ):
             # hop 1 needs an accumulate-dtype, SpMM-friendly source; stream
-            # the features into scratch block by block (O(block x F) resident)
+            # the features into scratch block by block (O(block x F) resident).
+            # Rebuilt even on resume — it is a pure function of the features,
+            # cheaper to recreate than to digest-verify.
             cast_path = scratch_root / "cast.dat"
             cast = np.memmap(cast_path, dtype=accumulate_dtype, mode="w+", shape=scratch_shape)
             began = time.perf_counter()
@@ -444,8 +655,11 @@ def propagate_blocked(
         if num_hops >= 2:
             for tag in ("s0", "s1"):
                 path = scratch_root / f"{tag}.dat"
-                sources[tag] = np.memmap(
-                    path, dtype=accumulate_dtype, mode="w+", shape=scratch_shape
+                # a resumed run must see the ping/pong bytes the journaled
+                # phases left behind — the scratch chain of the first
+                # recomputed hop lives here
+                sources[tag] = _open_or_create_raw(
+                    path, scratch_shape, accumulate_dtype, reuse=resuming
                 )
                 scratch_specs[tag] = _ArraySpec(
                     str(path), scratch_shape, accumulate_dtype.str, npy=False
@@ -474,16 +688,19 @@ def propagate_blocked(
         if root is not None:
             # stage into a sibling directory and rename into place on success:
             # a crash neither leaves half-written slabs behind nor destroys a
-            # previous valid store at the same root
+            # previous valid store at the same root.  Resumable runs use a
+            # deterministic staging name (and keep it on failure); one-shot
+            # runs keep the pid-suffixed throwaway staging.
             store_root = Path(root)
             store_root.parent.mkdir(parents=True, exist_ok=True)
-            staging_root = store_root.parent / f".{store_root.name}.staging-{os.getpid()}"
-            shutil.rmtree(staging_root, ignore_errors=True)
-            staging_root.mkdir()
+            if staging_root is None:
+                staging_root = store_root.parent / f".{store_root.name}.staging-{os.getpid()}"
+                shutil.rmtree(staging_root, ignore_errors=True)
+                staging_root.mkdir()
             if layout == "packed":
                 path = staging_root / "packed.npy"
-                packed = np.lib.format.open_memmap(
-                    path, mode="w+", dtype=dtype, shape=(num_matrices, num_rows, feature_dim)
+                packed = _open_or_create_memmap(
+                    path, (num_matrices, num_rows, feature_dim), dtype, reuse=resuming
                 )
                 sink_memmaps.append(packed)
                 sink_mats = [packed[m] for m in range(num_matrices)]
@@ -496,8 +713,8 @@ def propagate_blocked(
                 specs = []
                 for m in range(num_matrices):
                     path = staging_root / f"hop_{m:02d}.npy"
-                    matrix = np.lib.format.open_memmap(
-                        path, mode="w+", dtype=dtype, shape=(num_rows, feature_dim)
+                    matrix = _open_or_create_memmap(
+                        path, (num_rows, feature_dim), dtype, reuse=resuming
                     )
                     sink_memmaps.append(matrix)
                     sink_mats.append(matrix)
@@ -524,8 +741,32 @@ def propagate_blocked(
             sink_mats = [packed_ram[m] for m in range(num_matrices)]
             sink_spec = None
 
+        # ---------------- resume: trust the journaled prefix --------------- #
+        skip_phases: set = set()
+        if resuming:
+            trusted = _trusted_journal_prefix(journal, phases, sink_mats, sources, num_hops)
+            if len(trusted) != len(journal.entries()):
+                # rewrite the journal to exactly the trusted prefix so a later
+                # crash+resume never sees entries for phases being recomputed
+                journal.close()
+                with open(journal.journal_path, "w") as handle:
+                    for entry in trusted:
+                        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            skip_phases = {(entry["kernel"], entry["hop"]) for entry in trusted}
+            for entry in trusted:
+                spmm_seconds += float(entry.get("spmm_seconds", 0.0))
+                write_seconds += float(entry.get("write_seconds", 0.0))
+            logger.info(
+                "resume: %d/%d phase(s) journaled and intact; recomputing %d",
+                len(skip_phases),
+                len(phases),
+                len(phases) - len(skip_phases),
+            )
+
         # ---------------- the phase loop ----------------------------------- #
-        if num_workers > 0:
+        if num_workers > 0 and len(skip_phases) < len(phases):
             pool = _WorkerPool(
                 num_workers,
                 (
@@ -537,24 +778,53 @@ def propagate_blocked(
                     dtype.str,
                     sink_spec,
                     scratch_specs,
+                    fault_plan,
                 ),
                 start_method,
                 timeout_seconds,
             )
-            for k in range(num_kernels):
-                for hop in range(num_hops + 1):
-                    phase_spmm, phase_write = pool.run_phase(k, hop)
-                    spmm_seconds += phase_spmm
-                    write_seconds += phase_write
-        else:
-            for k in range(num_kernels):
-                for hop in range(num_hops + 1):
-                    phase_spmm, phase_write = _run_phase(
-                        k, hop, num_hops, operators[k], features, node_ids,
-                        blocks, sink_mats, sources, dtype,
-                    )
-                    spmm_seconds += phase_spmm
-                    write_seconds += phase_write
+        for kernel, hop in phases:
+            if (kernel, hop) in skip_phases:
+                phases_resumed += 1
+                continue
+            fault_point("blocked.phase.start", plan=fault_plan, kernel=kernel, hop=hop)
+            if pool is not None:
+                phase_spmm, phase_write = pool.run_phase(kernel, hop)
+            else:
+                phase_spmm, phase_write = _run_phase(
+                    kernel, hop, num_hops, operators[kernel], features, node_ids,
+                    blocks, sink_mats, sources, dtype, fault_plan=fault_plan,
+                )
+            spmm_seconds += phase_spmm
+            write_seconds += phase_write
+            phases_computed += 1
+            if journal is not None:
+                # durability order: phase data reaches disk before the journal
+                # entry that vouches for it
+                matrix_index = kernel * (num_hops + 1) + hop
+                if layout == "packed" or root is None:
+                    sink_memmaps[0].flush()
+                else:
+                    sink_memmaps[matrix_index].flush()
+                dest_tag = _hop_dest_tag(hop, num_hops)
+                scratch_digest = None
+                if dest_tag is not None:
+                    scratch = sources[dest_tag]
+                    if isinstance(scratch, np.memmap):
+                        scratch.flush()
+                    scratch_digest = digest_array(scratch)
+                journal.append(
+                    {
+                        "kernel": kernel,
+                        "hop": hop,
+                        "store_digest": digest_array(sink_mats[matrix_index]),
+                        "scratch_tag": dest_tag,
+                        "scratch_digest": scratch_digest,
+                        "spmm_seconds": phase_spmm,
+                        "write_seconds": phase_write,
+                    }
+                )
+            fault_point("blocked.phase.complete", plan=fault_plan, kernel=kernel, hop=hop)
         if pool is not None:
             pool.close()
             pool = None
@@ -576,6 +846,10 @@ def propagate_blocked(
             )
             (staging_root / "meta.json").write_text(json.dumps(meta, indent=2))
             del sink_mats, sink_memmaps
+            if journal is not None:
+                # the journal and scratch are run state, not store content
+                journal.discard()
+                shutil.rmtree(scratch_root, ignore_errors=True)
             # swap the finished store into place: the old store is moved
             # aside (not deleted) until the new one has been renamed in, so
             # a crash at any instant destroys no data — worst case the old
@@ -600,11 +874,19 @@ def propagate_blocked(
     finally:
         if pool is not None:
             pool.close()
-        if not completed and staging_root is not None:
+        if journal is not None:
+            journal.close()
+        if not completed and staging_root is not None and not resume:
             # a crash/timeout leaves the half-written slabs only in the
-            # staging directory; any pre-existing store at root is untouched
+            # staging directory; any pre-existing store at root is untouched.
+            # Resumable runs keep their staging — that *is* the checkpoint.
             shutil.rmtree(staging_root, ignore_errors=True)
-        shutil.rmtree(scratch_root, ignore_errors=True)
+        if not resume:
+            shutil.rmtree(scratch_root, ignore_errors=True)
+        elif not completed:
+            logger.info(
+                "resumable run interrupted; journaled state kept at %s", staging_root
+            )
 
     wall_timer.stop()
     timing = {
@@ -615,15 +897,19 @@ def propagate_blocked(
         "num_blocks": len(blocks),
         "block_size": int(block_size),
         "num_workers": int(num_workers),
+        "phases_total": len(phases),
+        "phases_resumed": phases_resumed,
+        "phases_computed": phases_computed,
     }
     logger.info(
         "blocked propagation: %d kernel(s) x %d hops over %d nodes in %d block(s) "
-        "(%d workers), %.2fs",
+        "(%d workers), %.2fs%s",
         num_kernels,
         num_hops,
         num_nodes,
         len(blocks),
         num_workers,
         timing["total_seconds"],
+        f" [{phases_resumed} phase(s) resumed]" if phases_resumed else "",
     )
     return store, timing

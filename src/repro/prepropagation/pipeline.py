@@ -109,7 +109,14 @@ class PreprocessingPipeline:
         decision; ``None`` uses the planner default.
     scratch_dir:
         Where the blocked engine puts its hop scratch memmaps (default: the
-        system temp directory).
+        system temp directory).  Ignored when ``resume=True`` — a resumable
+        run keeps its scratch inside the persistent staging directory.
+    resume:
+        Make blocked runs crash-safe and resumable: completed ``(kernel,
+        hop)`` phases are journaled next to ``root``
+        (:mod:`repro.resilience.checkpoint`), and a rerun after an
+        interruption recomputes only the unfinished phases, producing a
+        byte-identical store.  Requires ``root`` and the blocked mode.
     """
 
     def __init__(
@@ -122,11 +129,16 @@ class PreprocessingPipeline:
         num_workers: int = 0,
         memory_budget_bytes: Optional[int] = None,
         scratch_dir: Optional[Path] = None,
+        resume: bool = False,
     ) -> None:
         if mode not in PREPROCESSING_MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {PREPROCESSING_MODES}")
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
+        if resume and root is None:
+            raise ValueError("resume=True requires a persistent root")
+        if resume and mode == "in_core":
+            raise ValueError("resume is only supported by the blocked mode")
         self.config = config
         self.root = Path(root) if root is not None else None
         self.store_layout = store_layout
@@ -135,6 +147,7 @@ class PreprocessingPipeline:
         self.num_workers = num_workers
         self.memory_budget_bytes = memory_budget_bytes
         self.scratch_dir = Path(scratch_dir) if scratch_dir is not None else None
+        self.resume = resume
 
     # ------------------------------------------------------------------ #
     def _in_core_transient_bytes(self, dataset: NodeClassificationDataset) -> int:
@@ -150,6 +163,10 @@ class PreprocessingPipeline:
     def _resolve_mode(self, dataset: NodeClassificationDataset) -> str:
         if self.mode != "auto":
             return self.mode
+        if self.resume:
+            # only the blocked engine journals phases; an auto-resolved
+            # in-core run could not honor the resume contract
+            return "blocked"
         from repro.autoconfig.planner import DEFAULT_PROPAGATION_BUDGET_BYTES
 
         budget = self.memory_budget_bytes or DEFAULT_PROPAGATION_BUDGET_BYTES
@@ -196,6 +213,7 @@ class PreprocessingPipeline:
                 block_size=self._planned_block_size(dataset),
                 num_workers=self.num_workers,
                 scratch_dir=self.scratch_dir,
+                resume=self.resume,
             )
         else:
             full_matrices, timing = propagate_features(

@@ -1,0 +1,105 @@
+"""Supervision policy and counters for the self-healing loader pool.
+
+:class:`~repro.dataloading.workers.MultiProcessLoader` has two failure
+postures:
+
+* **fail-fast** (``policy=None``, the default): a dead or wedged worker
+  surfaces as a ``RuntimeError`` carrying its exit code and last-heartbeat
+  age — the right behavior for debugging and CI;
+* **self-healing** (``policy=SupervisorPolicy(...)``): crashed and stalled
+  workers are SIGKILLed (if needed), respawned with exponential backoff up to
+  a bounded budget, their unfinished batches re-queued; once the budget is
+  exhausted the loader *degrades gracefully* — the parent assembles the
+  affected batches in-process through the wrapped loader's store instead of
+  raising — so an epoch always completes, bit-identically, as long as the
+  parent survives.
+
+The policy object is deliberately tiny and immutable: everything the
+supervisor does is a pure function of it plus observed worker state, which
+keeps the recovery paths deterministic enough to fault-inject in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["SupervisorPolicy", "ResilienceCounters"]
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs of the self-healing loader supervisor.
+
+    Parameters
+    ----------
+    max_respawns:
+        Total respawn budget across the pool's lifetime.  ``0`` means never
+        respawn: the first failure degrades straight to in-process assembly.
+    backoff_seconds:
+        Base of the exponential respawn backoff: respawn ``i`` (1-based)
+        waits ``backoff_seconds * 2**(i - 1)``, capped at
+        ``max_backoff_seconds``.
+    stall_timeout_seconds:
+        A worker whose heartbeat is older than this while the consumer is
+        waiting on one of its batches is declared stalled and treated exactly
+        like a crash (SIGKILL + respawn-or-degrade).
+    batch_deadline_seconds:
+        Minimum time the consumer waits on a single batch before stall
+        detection may trigger — guards against declaring a worker stalled
+        while it is merely behind.
+    """
+
+    max_respawns: int = 2
+    backoff_seconds: float = 0.05
+    max_backoff_seconds: float = 2.0
+    stall_timeout_seconds: float = 30.0
+    batch_deadline_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ValueError("backoff seconds must be non-negative")
+        if self.stall_timeout_seconds <= 0:
+            raise ValueError("stall_timeout_seconds must be positive")
+        if self.batch_deadline_seconds <= 0:
+            raise ValueError("batch_deadline_seconds must be positive")
+
+    def backoff_for(self, respawn_index: int) -> float:
+        """Backoff before the ``respawn_index``-th respawn (1-based)."""
+        if respawn_index <= 0:
+            return 0.0
+        return min(self.backoff_seconds * (2 ** (respawn_index - 1)), self.max_backoff_seconds)
+
+
+@dataclass
+class ResilienceCounters:
+    """What the supervisor actually did — surfaced into ``TrainingHistory``."""
+
+    #: worker processes respawned after a crash or stall
+    respawns: int = 0
+    #: crashes observed (non-zero exit, unexpected death)
+    worker_crashes: int = 0
+    #: stalls detected via heartbeat age + batch deadline
+    worker_stalls: int = 0
+    #: batches re-queued off a failed worker (to its replacement)
+    requeued_batches: int = 0
+    #: batches assembled in-process after the respawn budget ran out
+    inline_batches: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "respawns": self.respawns,
+            "worker_crashes": self.worker_crashes,
+            "worker_stalls": self.worker_stalls,
+            "requeued_batches": self.requeued_batches,
+            "inline_batches": self.inline_batches,
+        }
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        return {key: value - earlier.get(key, 0) for key, value in self.snapshot().items()}
+
+    @property
+    def degraded(self) -> bool:
+        return self.inline_batches > 0

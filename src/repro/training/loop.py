@@ -20,9 +20,9 @@ from repro.dataloading.workers import MultiProcessLoader
 from repro.hardware.streams import PipelineResult, overlap_from_recorded
 from repro.datasets.synthetic import NodeClassificationDataset
 from repro.models.base import MPGNNModel, PPGNNModel
-from repro.prepropagation.store import FeatureStore
+from repro.resilience.supervisor import SupervisorPolicy
 from repro.sampling.base import Sampler
-from repro.tensor.losses import accuracy, cross_entropy
+from repro.tensor.losses import cross_entropy
 from repro.tensor.optim import Adam, Optimizer, SGD
 from repro.tensor.tensor import Tensor, no_grad
 from repro.training.metrics import EpochRecord, TrainingHistory
@@ -54,6 +54,11 @@ class TrainerConfig:
     #: composes with ``prefetch`` — workers assemble into shared-memory slots
     #: while the prefetch thread keeps the hand-off off the critical path
     num_workers: int = 0
+    #: self-healing posture for the worker pool (``None`` = fail fast on a
+    #: dead worker); see :class:`repro.resilience.supervisor.SupervisorPolicy`.
+    #: What the supervisor did each epoch lands in the ``loader_*`` fields of
+    #: :class:`~repro.training.metrics.EpochRecord`
+    loader_policy: Optional["SupervisorPolicy"] = None
 
     def __post_init__(self) -> None:
         if self.num_epochs <= 0:
@@ -105,7 +110,10 @@ class PPGNNTrainer:
         if config.num_workers > 0:
             keep = config.prefetch_depth + 2 if config.prefetch else 2
             self._mp_loader = MultiProcessLoader(
-                loader, num_workers=config.num_workers, keep=keep
+                loader,
+                num_workers=config.num_workers,
+                keep=keep,
+                policy=config.loader_policy,
             )
             source = self._mp_loader
         self._prefetcher: Optional[PrefetchLoader] = (
@@ -228,9 +236,17 @@ class PPGNNTrainer:
         for epoch in range(1, self.config.num_epochs + 1):
             timer = Timer().start()
             loading_before = self._data_loading_seconds()
+            counters_before = (
+                self._mp_loader.counters.snapshot() if self._mp_loader is not None else None
+            )
             loss = self.train_epoch()
             elapsed = timer.stop()
             loading = self._data_loading_seconds() - loading_before
+            resilience = (
+                self._mp_loader.counters.delta_since(counters_before)
+                if counters_before is not None
+                else {}
+            )
             if epoch % self.config.eval_every == 0 or epoch == self.config.num_epochs:
                 metrics = self.evaluate()
             else:
@@ -242,6 +258,9 @@ class PPGNNTrainer:
                 test_accuracy=metrics["test"],
                 epoch_seconds=elapsed,
                 data_loading_seconds=loading,
+                loader_respawns=resilience.get("respawns", 0),
+                loader_requeued_batches=resilience.get("requeued_batches", 0),
+                loader_inline_batches=resilience.get("inline_batches", 0),
             )
             self.history.append(record)
             if self.config.log_every and epoch % self.config.log_every == 0:

@@ -16,6 +16,12 @@ class EpochRecord:
     test_accuracy: Optional[float] = None
     epoch_seconds: float = 0.0
     data_loading_seconds: float = 0.0
+    # what the self-healing loader supervisor did during this epoch
+    # (deltas of repro.resilience.supervisor.ResilienceCounters; all zero
+    # when loading is in-process or nothing failed)
+    loader_respawns: int = 0
+    loader_requeued_batches: int = 0
+    loader_inline_batches: int = 0
 
 
 @dataclass
@@ -62,6 +68,22 @@ class TrainingHistory:
 
     def total_seconds(self) -> float:
         return float(sum(r.epoch_seconds for r in self.records))
+
+    # -------------------------------------------------------------- #
+    # loader-resilience aggregates (all zero for healthy runs)
+    def total_loader_respawns(self) -> int:
+        return int(sum(r.loader_respawns for r in self.records))
+
+    def total_loader_requeued_batches(self) -> int:
+        return int(sum(r.loader_requeued_batches for r in self.records))
+
+    def total_loader_inline_batches(self) -> int:
+        return int(sum(r.loader_inline_batches for r in self.records))
+
+    @property
+    def loader_degraded(self) -> bool:
+        """True if any epoch fell back to in-process batch assembly."""
+        return self.total_loader_inline_batches() > 0
 
 
 def convergence_point(valid_curve: List[float], fraction: float = 0.99) -> Optional[int]:
