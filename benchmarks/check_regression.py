@@ -12,6 +12,10 @@ selected with ``--kind``:
   (``BENCH_preprocessing.json``): the blocked engine's peak-memory reduction
   over the in-core path dropping more than ``--tolerance`` below baseline,
   or its wall-time ratio inflating more than ``--tolerance`` above baseline.
+* ``serving`` — the serving-throughput benchmark (``BENCH_serving.json``):
+  coalesced answers no longer bit-identical to direct gathers, Zipfian QPS
+  regressing below baseline, p99 latency inflating above baseline, or the
+  cache-hit p50 advantage over cold gathers eroding.
 
 Because each gated metric's baseline can sit far beyond its acceptance
 target out of measurement luck, the baseline is capped at the acceptance
@@ -55,6 +59,53 @@ PREPROCESSING_GATES = (
     ("blocked", "wall_ratio_vs_in_core", "wall_ratio_limit", "max"),
 )
 
+#: serving gates, same (row, metric, target key, direction) shape
+SERVING_GATES = (
+    ("zipfian", "qps", "qps_target", "min"),
+    ("zipfian", "p99_ms", "p99_limit_ms", "max"),
+    ("cache", "p50_speedup_vs_cold", "cache_speedup_target", "min"),
+)
+
+
+def _directional_failures(
+    gates: tuple, baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """Shared floor/ceiling gate over ``(row, metric, target key, direction)``.
+
+    ``"min"`` metrics (larger is better) must stay within ``tolerance`` below
+    the target-capped baseline; ``"max"`` metrics (smaller is better) within
+    ``tolerance`` above it.
+    """
+    failures: list[str] = []
+    for row, metric, target_key, direction in gates:
+        base_value = baseline.get("results", {}).get(row, {}).get(metric)
+        if base_value is None:  # baseline predates this metric; nothing to gate
+            continue
+        fresh_value = fresh.get("results", {}).get(row, {}).get(metric)
+        if fresh_value is None:
+            failures.append(f"{row}.{metric}: missing from fresh results")
+            continue
+        target = baseline.get(target_key)
+        if direction == "min":
+            effective_base = min(base_value, target) if target else base_value
+            floor = effective_base * (1.0 - tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    f"{row}.{metric}: {fresh_value:.3f} regressed more than "
+                    f"{tolerance:.0%} below baseline {base_value:.3f} "
+                    f"(gated floor {floor:.3f})"
+                )
+        else:
+            effective_base = max(base_value, target) if target else base_value
+            ceiling = effective_base * (1.0 + tolerance)
+            if fresh_value > ceiling:
+                failures.append(
+                    f"{row}.{metric}: {fresh_value:.3f} inflated more than "
+                    f"{tolerance:.0%} above baseline {base_value:.3f} "
+                    f"(gated ceiling {ceiling:.3f})"
+                )
+    return failures
+
 
 def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Loader-throughput gate: return human-readable failures (empty = pass)."""
@@ -88,38 +139,25 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
 
 def compare_preprocessing(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
     """Preprocessing gate: memory reduction must hold, wall ratio must not inflate."""
+    return _directional_failures(PREPROCESSING_GATES, baseline, fresh, tolerance)
+
+
+def compare_serving(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Serving gate: bit identity, Zipfian QPS/p99, cache-hit p50 advantage."""
     failures: list[str] = []
-    for row, metric, target_key, direction in PREPROCESSING_GATES:
-        base_value = baseline.get("results", {}).get(row, {}).get(metric)
-        if base_value is None:  # baseline predates this metric; nothing to gate
-            continue
-        fresh_value = fresh.get("results", {}).get(row, {}).get(metric)
-        if fresh_value is None:
-            failures.append(f"{row}.{metric}: missing from fresh results")
-            continue
-        target = baseline.get(target_key)
-        if direction == "min":
-            effective_base = min(base_value, target) if target else base_value
-            floor = effective_base * (1.0 - tolerance)
-            if fresh_value < floor:
-                failures.append(
-                    f"{row}.{metric}: {fresh_value:.3f} regressed more than "
-                    f"{tolerance:.0%} below baseline {base_value:.3f} "
-                    f"(gated floor {floor:.3f})"
-                )
-        else:
-            effective_base = max(base_value, target) if target else base_value
-            ceiling = effective_base * (1.0 + tolerance)
-            if fresh_value > ceiling:
-                failures.append(
-                    f"{row}.{metric}: {fresh_value:.3f} inflated more than "
-                    f"{tolerance:.0%} above baseline {base_value:.3f} "
-                    f"(gated ceiling {ceiling:.3f})"
-                )
+    if baseline.get("results", {}).get("bit_identical_to_direct") and not fresh.get(
+        "results", {}
+    ).get("bit_identical_to_direct"):
+        failures.append("coalesced answers are no longer bit-identical to direct gathers")
+    failures.extend(_directional_failures(SERVING_GATES, baseline, fresh, tolerance))
     return failures
 
 
-_COMPARATORS = {"loaders": compare, "preprocessing": compare_preprocessing}
+_COMPARATORS = {
+    "loaders": compare,
+    "preprocessing": compare_preprocessing,
+    "serving": compare_serving,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

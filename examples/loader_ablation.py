@@ -2,7 +2,9 @@
 
 Part 1 measures the real wall-clock batch-assembly cost of the four loader
 strategies on a replica (baseline per-row gather vs fused vs chunk-reshuffled
-vs storage-backed) — the small-scale analogue of the paper's Figure 9.
+vs storage-backed) — the small-scale analogue of the paper's Figure 9.  The
+loaders come from the ``repro.Session`` facade: one ``LoaderConfig`` per
+strategy, no manual setup or teardown.
 
 Part 2 evaluates the same strategies with the paper-scale cost model on the
 simulated server, printing the normalized epoch times the paper reports.
@@ -18,27 +20,25 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import LoaderConfig, Session
 from repro.dataloading import PPGNNCostModel
 from repro.dataloading.cost_model import ModelComputeProfile
-from repro.dataloading.loaders import build_loader
-from repro.datasets import load_dataset
 from repro.datasets.catalog import PAPER_DATASETS
 from repro.hardware import paper_server
 from repro.models import build_pp_model
-from repro.prepropagation import PreprocessingPipeline, PropagationConfig
 
 
 def measured_assembly_times(hops: int = 3) -> None:
-    dataset = load_dataset("wiki", seed=0, num_nodes=4000)
-    with tempfile.TemporaryDirectory() as tmp:
-        result = PreprocessingPipeline(PropagationConfig(num_hops=hops), root=Path(tmp)).run(dataset)
-        labels = dataset.labels[result.store.node_ids]
+    with tempfile.TemporaryDirectory() as tmp, Session(
+        "wiki", num_nodes=4000, seed=0, root=Path(tmp)
+    ) as session:
+        session.preprocess(num_hops=hops)
         print("\n-- measured batch-assembly wall time on the replica (one epoch) --")
         for strategy in ("baseline", "fused", "chunk", "storage"):
-            loader = build_loader(strategy, result.store, labels, batch_size=512, seed=0)
-            for _ in loader.epoch():
-                pass
-            seconds = loader.timing.buckets["batch_assembly"]
+            with session.loader(LoaderConfig(strategy=strategy, batch_size=512)) as loader:
+                for _ in loader.epoch():
+                    pass
+                seconds = loader.timing.buckets["batch_assembly"]
             print(f"  {strategy:10s} {seconds * 1000:8.1f} ms")
 
 

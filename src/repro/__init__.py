@@ -13,4 +13,12 @@ The package is organised as a layered system:
 
 __version__ = "0.1.0"
 
-__all__ = ["__version__"]
+from repro.api import LoaderConfig, ServingConfig, Session, open_dataset  # noqa: E402
+
+__all__ = [
+    "__version__",
+    "LoaderConfig",
+    "ServingConfig",
+    "Session",
+    "open_dataset",
+]

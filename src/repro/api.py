@@ -1,0 +1,292 @@
+"""One front door for the repro system.
+
+Six PRs of growth left the public surface scattered: loaders are built from
+a nine-kwarg factory, trainers own part of the loading pipeline through
+``TrainerConfig`` toggles, preprocessing has its own pipeline object, and
+every stage needs a manual ``close()`` in the right order.  This module is
+the redesign: a :class:`Session` context manager spans the whole lifecycle —
+dataset → pre-propagation → loader → trainer → serving — with exactly two
+config dataclasses (:class:`LoaderConfig` here, :class:`~repro.serving.
+config.ServingConfig` for the serving tier) replacing the kwarg sprawl, and
+every resource the session opens is closed on exit, in reverse order.
+
+    from repro import Session, LoaderConfig, ServingConfig
+
+    with Session("products", num_nodes=6000) as session:
+        session.preprocess(num_hops=3)
+        trainer = session.trainer("sign", num_epochs=30)
+        history = trainer.fit()
+        engine = session.serve(ServingConfig(cache_policy="lru"))
+        predictions = engine.predict([0, 17, 42])
+
+The old entry points keep working; :func:`build_loader` here is a thin
+deprecation shim over :func:`repro.dataloading.loaders.build_loader`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.datasets import load_dataset
+from repro.datasets.synthetic import NodeClassificationDataset
+from repro.dataloading import loaders as _loaders
+from repro.models import build_pp_model
+from repro.models.base import PPGNNModel
+from repro.prepropagation import PreprocessingPipeline, PropagationConfig
+from repro.prepropagation.store import FeatureStore
+from repro.serving import ServingConfig, ServingEngine
+from repro.training import PPGNNTrainer, TrainerConfig
+
+__all__ = [
+    "LoaderConfig",
+    "ServingConfig",
+    "Session",
+    "open_dataset",
+    "build_loader",
+]
+
+
+def open_dataset(
+    name: str, seed: int = 0, num_nodes: Optional[int] = None, use_cache: bool = True
+) -> NodeClassificationDataset:
+    """Load a named dataset replica (facade over :func:`repro.datasets.load_dataset`)."""
+    return load_dataset(name, seed=seed, num_nodes=num_nodes, use_cache=use_cache)
+
+
+@dataclass
+class LoaderConfig:
+    """Every batch-assembly knob in one place.
+
+    Replaces the positional kwarg sprawl of ``build_loader(...)`` plus the
+    loading-related toggles that leaked into ``TrainerConfig`` (``prefetch``,
+    ``prefetch_depth``, ``num_workers``, ``loader_policy``).  ``build()``
+    constructs the loader; :class:`Session` threads the trainer-side toggles
+    into the trainer's config automatically.
+    """
+
+    strategy: str = "fused"
+    batch_size: int = 512
+    chunk_size: Optional[int] = None
+    seed: int = 0
+    packed: Optional[bool] = None
+    reuse_buffers: bool = False
+    num_buffers: int = 2
+    #: worker processes for shared-memory batch assembly (0 = in-process)
+    num_workers: int = 0
+    keep: int = 2
+    #: overlap assembly with compute via a background prefetch thread
+    prefetch: bool = False
+    prefetch_depth: int = 1
+    #: self-healing posture for the worker pool (see repro.resilience)
+    loader_policy: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _loaders.LOADER_CLASSES:
+            raise ValueError(
+                f"unknown loader strategy {self.strategy!r}; "
+                f"available: {sorted(_loaders.LOADER_CLASSES)}"
+            )
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if self.prefetch_depth <= 0:
+            raise ValueError("prefetch_depth must be positive")
+
+    def build(self, store: FeatureStore, labels, wrap_workers: bool = True):
+        """Construct the loader this config describes.
+
+        ``wrap_workers=False`` builds only the in-process strategy loader —
+        the form :class:`PPGNNTrainer` wants, since it owns the multi-process
+        and prefetch wrapping itself via its config toggles.
+        """
+        return _loaders.build_loader(
+            self.strategy,
+            store,
+            labels,
+            batch_size=self.batch_size,
+            chunk_size=self.chunk_size,
+            seed=self.seed,
+            packed=self.packed,
+            reuse_buffers=self.reuse_buffers,
+            num_buffers=self.num_buffers,
+            num_workers=self.num_workers if wrap_workers else 0,
+            keep=self.keep if wrap_workers and self.num_workers > 0 else 2,
+        )
+
+    def apply_to(self, config: TrainerConfig) -> TrainerConfig:
+        """Copy the trainer-side loading toggles into a :class:`TrainerConfig`."""
+        return dataclasses.replace(
+            config,
+            batch_size=self.batch_size,
+            prefetch=self.prefetch,
+            prefetch_depth=self.prefetch_depth,
+            num_workers=self.num_workers,
+            loader_policy=self.loader_policy,
+        )
+
+
+class Session:
+    """Context manager spanning dataset → preprocessing → training → serving.
+
+    Every stage object the session hands out is registered and closed on
+    ``__exit__`` in reverse creation order, so worker pools, prefetch
+    threads, shared-memory segments and serving engines never need a manual
+    ``close()`` — though each still supports one, and its own ``with`` block.
+    """
+
+    def __init__(
+        self,
+        dataset: "str | NodeClassificationDataset",
+        *,
+        seed: int = 0,
+        num_nodes: Optional[int] = None,
+        loader: Optional[LoaderConfig] = None,
+        root: Optional[Path] = None,
+    ) -> None:
+        if isinstance(dataset, str):
+            dataset = open_dataset(dataset, seed=seed, num_nodes=num_nodes)
+        self.dataset = dataset
+        self.seed = seed
+        self.loader_config = loader if loader is not None else LoaderConfig(seed=seed)
+        self.root = root
+        self._store: Optional[FeatureStore] = None
+        self._resources: List[object] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def preprocess(
+        self,
+        config: Optional[PropagationConfig] = None,
+        *,
+        num_hops: int = 3,
+        mode: str = "in_core",
+        store_layout: str = "hops",
+        **pipeline_kwargs,
+    ):
+        """Run pre-propagation; the resulting store becomes the session's store."""
+        if config is None:
+            config = PropagationConfig(num_hops=num_hops)
+        pipeline = PreprocessingPipeline(
+            config, root=self.root, store_layout=store_layout, mode=mode, **pipeline_kwargs
+        )
+        result = pipeline.run(self.dataset)
+        self._store = result.store
+        return result
+
+    @property
+    def store(self) -> FeatureStore:
+        """The session's pre-propagated store (runs ``preprocess()`` lazily)."""
+        if self._store is None:
+            self.preprocess()
+        return self._store
+
+    def store_labels(self):
+        """Labels aligned to the store's row order (what loaders consume)."""
+        return self.dataset.labels[self.store.node_ids]
+
+    # ------------------------------------------------------------------ #
+    def loader(self, config: Optional[LoaderConfig] = None):
+        """Build a standalone loader (multi-process wrapped if configured)."""
+        config = config if config is not None else self.loader_config
+        loader = config.build(self.store, self.store_labels(), wrap_workers=True)
+        self._resources.append(loader)
+        return loader
+
+    def model(self, name: str = "sign", **model_kwargs) -> PPGNNModel:
+        """Build a PP-GNN model shaped for this session's dataset and store."""
+        model_kwargs.setdefault("seed", self.seed)
+        return build_pp_model(
+            name,
+            in_features=self.dataset.num_features,
+            num_classes=self.dataset.num_classes,
+            num_hops=self.store.num_hops,
+            **model_kwargs,
+        )
+
+    def trainer(
+        self,
+        model: "str | PPGNNModel" = "sign",
+        config: Optional[TrainerConfig] = None,
+        loader: Optional[LoaderConfig] = None,
+        **config_kwargs,
+    ) -> PPGNNTrainer:
+        """Build a :class:`PPGNNTrainer` wired to this session's store.
+
+        ``model`` may be a registry name or a constructed model; extra
+        keyword arguments (``num_epochs=30`` etc.) override fields of the
+        trainer config; the loader config's trainer-side toggles
+        (prefetch/workers) are folded in automatically.
+        """
+        loader_config = loader if loader is not None else self.loader_config
+        if config is None:
+            config = TrainerConfig(seed=self.seed)
+        if config_kwargs:
+            config = dataclasses.replace(config, **config_kwargs)
+        config = loader_config.apply_to(config)
+        if isinstance(model, str):
+            model = self.model(model)
+        base_loader = loader_config.build(self.store, self.store_labels(), wrap_workers=False)
+        trainer = PPGNNTrainer(model, base_loader, self.dataset, config)
+        self._resources.append(trainer)
+        return trainer
+
+    def serve(
+        self,
+        config: Optional[ServingConfig] = None,
+        *,
+        model: Optional[PPGNNModel] = None,
+        host=None,
+    ) -> ServingEngine:
+        """Start a :class:`ServingEngine` over this session's store.
+
+        The session's graph rides along so ``config.adaptive_depth`` works
+        without extra plumbing; pass a trained ``model`` to enable
+        ``engine.predict``.
+        """
+        engine = ServingEngine(
+            self.store,
+            config,
+            graph=self.dataset.graph,
+            model=model,
+            host=host,
+        )
+        self._resources.append(engine)
+        return engine
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every stage the session opened, in reverse creation order."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._resources:
+            resource = self._resources.pop()
+            close = getattr(resource, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def build_loader(*args, **kwargs):
+    """Deprecated shim: use :class:`LoaderConfig` (or ``Session.loader``).
+
+    Forwards to :func:`repro.dataloading.loaders.build_loader` unchanged so
+    existing call sites keep working while they migrate.
+    """
+    warnings.warn(
+        "repro.api.build_loader is deprecated; use repro.api.LoaderConfig(...).build(...) "
+        "or Session.loader() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _loaders.build_loader(*args, **kwargs)

@@ -187,6 +187,21 @@ class PPGNNLoader:
     def num_batches(self) -> int:
         return int(np.ceil(self.store.num_rows / self.batch_size))
 
+    def close(self) -> None:
+        """Release loader resources.
+
+        A no-op for the in-process strategies (they hold only NumPy views),
+        but part of the loader contract so every pipeline stage — loader,
+        multi-process wrapper, prefetcher, trainer, serving engine — shares
+        one ``close()``/context-manager lifecycle.
+        """
+
+    def __enter__(self) -> "PPGNNLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     def _fill_runs(self, source: np.ndarray, rows: np.ndarray, runs: list[tuple[int, int]]) -> List[np.ndarray]:
         """Copy contiguous ``runs`` from a packed source into an assembly block.

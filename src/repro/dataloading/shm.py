@@ -189,9 +189,13 @@ class SharedPackedStore:
     nothing here because workers re-open the files themselves.  Use as a
     context manager or call :meth:`close`; a finalizer unlinks the segment at
     interpreter exit if neither happened.
+
+    ``kind`` tags the segment name (``ppgnn-<kind>-<pid>-<hex>``) so leak
+    sweeps and humans can attribute it: loaders use the default ``"store"``,
+    the serving engine passes ``"serve"``.
     """
 
-    def __init__(self, store: FeatureStore) -> None:
+    def __init__(self, store: FeatureStore, kind: str = "store") -> None:
         self._segment: Optional[shared_memory.SharedMemory] = None
         shape = (store.num_matrices, store.num_rows, store.feature_dim)
         dtype = np.dtype(store.dtype)
@@ -212,7 +216,7 @@ class SharedPackedStore:
         else:
             packed = store.packed_matrix()
             self._segment = shared_memory.SharedMemory(
-                create=True, size=packed.nbytes, name=_new_segment_name("store")
+                create=True, size=packed.nbytes, name=_new_segment_name(kind)
             )
             shared = np.ndarray(shape, dtype=dtype, buffer=self._segment.buf)
             np.copyto(shared, packed)
@@ -299,6 +303,24 @@ class AttachedStore:
         else:
             for m, matrix in enumerate(self._hops):
                 out[m] = matrix[rows]
+
+    def gather_hops_into(self, rows: np.ndarray, out: np.ndarray, num_matrices: int) -> None:
+        """Gather only the first ``num_matrices`` matrices for ``rows``.
+
+        Serving's node-adaptive depth path uses this to skip hops a node's
+        truncated depth never reads: ``out`` must be ``(num_matrices, B, F)``
+        and receives ``block[:num_matrices, rows]``.  The leading slice of the
+        packed block is a contiguous view, so the shm/memmap transports stay
+        zero-copy here just like :meth:`gather_into`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise IndexError(f"row indices out of range [0, {self.num_rows})")
+        if self._packed is not None:
+            np.take(self._packed[:num_matrices], rows, axis=1, out=out, mode="clip")
+        else:
+            for m in range(num_matrices):
+                out[m] = self._hops[m][rows]
 
     def close(self) -> None:
         self._packed = None

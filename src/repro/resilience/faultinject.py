@@ -74,6 +74,8 @@ KNOWN_SITES = (
     "blocked.phase.complete",    # parent-side, after journaling a phase
     "blocked.scratch.write",     # before a scratch/store block write
     "shm.unlink",                # before unlinking a shared-memory segment
+    "serve.gather",              # serving engine, before a cache-miss store gather
+    "serve.cache",               # serving engine, per-row cache lookup ("leak" = bypass)
 )
 
 

@@ -1,0 +1,20 @@
+"""Online inference serving tier.
+
+See :class:`~repro.serving.engine.ServingEngine` for the entry point; the
+:mod:`repro.api` facade constructs one via ``Session.serve()``.
+"""
+
+from repro.serving.cache import CACHE_POLICIES, CacheStats, HopCache
+from repro.serving.config import ServingConfig
+from repro.serving.depth import NodeAdaptiveDepth
+from repro.serving.engine import ServingEngine, ServingStats
+
+__all__ = [
+    "CACHE_POLICIES",
+    "CacheStats",
+    "HopCache",
+    "NodeAdaptiveDepth",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingStats",
+]

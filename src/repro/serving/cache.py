@@ -1,0 +1,171 @@
+"""Hot-node hop cache for the serving tier.
+
+Real inference traffic is heavily skewed (a Zipfian handful of hub nodes
+receives most queries), so a small cache of fully-assembled per-node hop
+blocks turns the common case into a single ``(M, F)`` copy instead of a
+fused gather across the packed store.  The cache holds one entry per store
+row — the exact ``(num_matrices, feature_dim)`` block the engine would
+otherwise assemble (post node-adaptive truncation, so hits and misses are
+bit-identical) — in a single preallocated slab, with two eviction policies:
+
+* ``"lru"`` — exact least-recently-used via an ordered dict;
+* ``"clock"`` — second-chance/clock: one reference bit per slot and a
+  sweeping hand, the classic O(1)-per-eviction approximation of LRU.
+
+The cache is deliberately not thread-safe: the :class:`~repro.serving.
+engine.ServingEngine` serializes every lookup/insert behind its gather lock,
+which keeps the hot path free of per-entry locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CACHE_POLICIES", "CacheStats", "HopCache"]
+
+#: eviction policies :class:`HopCache` implements
+CACHE_POLICIES = ("lru", "clock")
+
+
+@dataclass
+class CacheStats:
+    """Lookup/eviction counters since construction (or the last ``clear``)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class HopCache:
+    """Fixed-capacity cache of per-node ``(num_matrices, feature_dim)`` blocks.
+
+    Entries live in one preallocated ``(capacity, M, F)`` slab so the cache
+    never allocates on the hot path; ``get`` returns a read view into the
+    slab that is valid until the entry is evicted.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        num_matrices: int,
+        feature_dim: int,
+        dtype,
+        policy: str = "lru",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(f"unknown cache policy {policy!r}; expected one of {CACHE_POLICIES}")
+        self.policy = policy
+        self._slab = np.empty((capacity, num_matrices, feature_dim), dtype=np.dtype(dtype))
+        self._slot_of: dict[int, int] = {}
+        self._node_of = np.full(capacity, -1, dtype=np.int64)
+        self._free = list(range(capacity - 1, -1, -1))  # pop() hands out slot 0 first
+        self.stats = CacheStats()
+        # lru bookkeeping: insertion/recency order, oldest first
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+        # clock bookkeeping: one second-chance bit per slot plus the hand
+        self._referenced = np.zeros(capacity, dtype=bool)
+        self._hand = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return int(self._slab.shape[0])
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, row: int) -> bool:
+        return int(row) in self._slot_of
+
+    def entry_nbytes(self) -> int:
+        """Bytes of one cached block (the unit cache budgets divide by)."""
+        return int(self._slab[0].nbytes)
+
+    # ------------------------------------------------------------------ #
+    def get(self, row: int) -> Optional[np.ndarray]:
+        """Return the cached ``(M, F)`` block for ``row`` (or ``None`` on miss).
+
+        A hit refreshes the entry's recency (LRU order / clock reference bit).
+        """
+        slot = self._slot_of.get(int(row))
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self.policy == "lru":
+            self._order.move_to_end(int(row))
+        else:
+            self._referenced[slot] = True
+        return self._slab[slot]
+
+    def put(self, row: int, block: np.ndarray) -> None:
+        """Insert (or refresh) the block for ``row``, evicting if full."""
+        row = int(row)
+        slot = self._slot_of.get(row)
+        if slot is None:
+            slot = self._free.pop() if self._free else self._evict()
+            self._slot_of[row] = slot
+            self._node_of[slot] = row
+            if self.policy == "lru":
+                self._order[row] = None
+            self.stats.insertions += 1
+        elif self.policy == "lru":
+            self._order.move_to_end(row)
+        self._slab[slot] = block
+        if self.policy == "clock":
+            self._referenced[slot] = True
+
+    def _evict(self) -> int:
+        self.stats.evictions += 1
+        if self.policy == "lru":
+            victim_row, _ = self._order.popitem(last=False)
+            slot = self._slot_of.pop(victim_row)
+            self._node_of[slot] = -1
+            return slot
+        # clock: sweep the hand, granting one second chance per referenced slot
+        while True:
+            slot = self._hand
+            self._hand = (self._hand + 1) % self.capacity
+            if self._referenced[slot]:
+                self._referenced[slot] = False
+                continue
+            victim_row = int(self._node_of[slot])
+            if victim_row >= 0:
+                del self._slot_of[victim_row]
+                self._node_of[slot] = -1
+                return slot
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        self._slot_of.clear()
+        self._node_of.fill(-1)
+        self._free = list(range(self.capacity - 1, -1, -1))
+        self._order.clear()
+        self._referenced.fill(False)
+        self._hand = 0
+        self.stats = CacheStats()

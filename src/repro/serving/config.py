@@ -1,0 +1,89 @@
+"""Configuration for the online serving tier.
+
+One dataclass owns every serving knob — coalescing window, micro-batch
+size, cache policy/budget, node-adaptive depth — so the engine constructor
+does not sprawl into kwargs and the :mod:`repro.api` facade can hand the
+same object from session to engine unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.serving.cache import CACHE_POLICIES
+
+__all__ = ["ServingConfig"]
+
+
+@dataclass
+class ServingConfig:
+    """Knobs for :class:`~repro.serving.engine.ServingEngine`.
+
+    Coalescing
+        ``micro_batch_size`` requests (or whatever arrived when the
+        ``window_seconds`` bounded-latency window expires) are answered by one
+        fused gather; duplicate ids within a window and ids already in flight
+        are served from a single gather.
+
+    Hot-node cache
+        ``cache_policy`` is ``"lru"``, ``"clock"`` or ``"none"``.  Capacity is
+        resolved in this order: explicit ``cache_capacity`` entries, else
+        ``cache_bytes // entry_bytes``, else ``cache_fraction`` of the host
+        device's headroom (when the engine is given one), else
+        ``DEFAULT_CACHE_CAPACITY`` — always clamped to the store's row count.
+
+    Node-adaptive depth
+        ``adaptive_depth=True`` truncates cache-miss gathers per node: rows
+        whose degree falls in higher ``depth_quantiles`` bands are served with
+        fewer hops, down to ``min_depth`` (arXiv:2310.10998).
+    """
+
+    DEFAULT_CACHE_CAPACITY = 4096
+
+    micro_batch_size: int = 256
+    window_seconds: float = 0.002
+    cache_policy: str = "lru"
+    cache_capacity: Optional[int] = None
+    cache_bytes: Optional[int] = None
+    cache_fraction: float = 0.05
+    adaptive_depth: bool = False
+    min_depth: int = 1
+    depth_quantiles: Tuple[float, ...] = (0.5, 0.9)
+    #: how many recent request latencies the engine retains for percentiles
+    latency_window: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be >= 1")
+        if self.window_seconds < 0:
+            raise ValueError("window_seconds must be non-negative")
+        allowed = CACHE_POLICIES + ("none",)
+        if self.cache_policy not in allowed:
+            raise ValueError(f"cache_policy must be one of {allowed}, got {self.cache_policy!r}")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be >= 1 when given")
+        if self.cache_bytes is not None and self.cache_bytes < 1:
+            raise ValueError("cache_bytes must be >= 1 when given")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in (0, 1]")
+        if self.min_depth < 0:
+            raise ValueError("min_depth must be non-negative")
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+
+    def resolve_cache_capacity(self, entry_bytes: int, host=None) -> int:
+        """Entries the hot-node cache may hold, given one entry's byte size.
+
+        ``host`` is an optional :class:`~repro.hardware.memory.MemoryDevice`
+        whose headroom bounds the budget when no explicit capacity is set.
+        """
+        if self.cache_policy == "none":
+            return 0
+        if self.cache_capacity is not None:
+            return self.cache_capacity
+        if self.cache_bytes is not None:
+            return max(1, self.cache_bytes // entry_bytes)
+        if host is not None:
+            return max(1, host.fit_count(entry_bytes, self.cache_fraction))
+        return self.DEFAULT_CACHE_CAPACITY

@@ -1,0 +1,429 @@
+"""Online inference engine over a pre-propagated feature store.
+
+The paper's bargain is that all graph aggregation happens offline, so the
+online path is a pure feature gather.  :class:`ServingEngine` is that online
+path: it attaches to the packed ``(M, N, F)`` store through the same
+shared-memory/memmap transports multi-process training uses
+(:mod:`repro.dataloading.shm`), accepts node-id queries, and answers through
+three layered optimizations:
+
+* **Request coalescing + micro-batching** — queries wait at most
+  ``window_seconds`` so concurrent arrivals share one fused gather; duplicate
+  ids inside the window collapse to one entry, and a query for an id already
+  being gathered joins that in-flight batch instead of issuing another.
+* **Hot-node hop cache** — skewed (Zipfian) real traffic concentrates on a
+  small working set, so an LRU/clock cache of assembled per-node blocks
+  (:class:`~repro.serving.cache.HopCache`, sized from host-memory headroom)
+  turns the common case into a single ``(M, F)`` copy.
+* **Node-adaptive depth** — cache misses optionally gather only the hops a
+  node needs (:class:`~repro.serving.depth.NodeAdaptiveDepth`), repeating the
+  deepest kept hop so output shapes never change.
+
+All three paths — direct, cached, coalesced — return bit-identical blocks:
+the cache stores post-truncation values and depth assignment is a pure
+per-row function, so correctness tests can compare them byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dataloading.shm import SharedPackedStore, attach_store
+from repro.prepropagation.store import FeatureStore
+from repro.resilience.faultinject import fault_point
+from repro.serving.cache import HopCache
+from repro.serving.config import ServingConfig
+from repro.serving.depth import NodeAdaptiveDepth
+from repro.utils.logging import get_logger
+
+logger = get_logger("serving.engine")
+
+__all__ = ["ServingEngine", "ServingStats"]
+
+
+@dataclass
+class ServingStats:
+    """Counters for one engine's lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    #: duplicate ids that merged into a pending (not yet dispatched) entry
+    coalesced_window: int = 0
+    #: ids that joined a batch already being gathered
+    coalesced_inflight: int = 0
+    gather_errors: int = 0
+    cache: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        out = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "coalesced_window": self.coalesced_window,
+            "coalesced_inflight": self.coalesced_inflight,
+            "gather_errors": self.gather_errors,
+        }
+        if self.cache:
+            out["cache"] = dict(self.cache)
+        return out
+
+
+class _Entry:
+    """Futures waiting on one node id, with per-future enqueue times."""
+
+    __slots__ = ("futures", "enqueued")
+
+    def __init__(self, future: Future, now: float) -> None:
+        self.futures: List[Tuple[Future, float]] = [(future, now)]
+        self.enqueued = now
+
+
+class ServingEngine:
+    """Serve per-node hop blocks (and predictions) from a packed store.
+
+    Parameters
+    ----------
+    store:
+        The pre-propagated :class:`FeatureStore` to serve from.  File-backed
+        packed stores are memory-mapped; in-memory stores are published once
+        into a ``ppgnn-serve-*`` shared segment.
+    config:
+        :class:`ServingConfig`; defaults apply when omitted.
+    graph:
+        Required when ``config.adaptive_depth`` is set — degree scores come
+        from it.
+    model:
+        Optional PP-GNN model enabling :meth:`predict`.
+    host:
+        Optional :class:`~repro.hardware.memory.MemoryDevice` whose headroom
+        sizes the cache when the config gives no explicit budget.
+    """
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        config: Optional[ServingConfig] = None,
+        *,
+        graph=None,
+        model=None,
+        host=None,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else ServingConfig()
+        self._model = model
+        self.num_rows = store.num_rows
+        self.num_matrices = store.num_matrices
+        self.feature_dim = store.feature_dim
+        self.dtype = np.dtype(store.dtype)
+
+        self._shared = SharedPackedStore(store, kind="serve")
+        self._attached = attach_store(self._shared.handle)
+
+        self._depth: Optional[NodeAdaptiveDepth] = None
+        if self.config.adaptive_depth:
+            if graph is None:
+                raise ValueError("adaptive_depth=True requires the graph the store was built from")
+            self._depth = NodeAdaptiveDepth.from_graph(
+                graph,
+                store.node_ids,
+                num_hops=store.num_hops,
+                num_kernels=store.num_kernels,
+                min_depth=self.config.min_depth,
+                quantiles=self.config.depth_quantiles,
+            )
+
+        entry_bytes = self.num_matrices * self.feature_dim * self.dtype.itemsize
+        capacity = min(self.config.resolve_cache_capacity(entry_bytes, host), self.num_rows)
+        self._cache: Optional[HopCache] = None
+        if capacity > 0 and self.config.cache_policy != "none":
+            self._cache = HopCache(
+                capacity,
+                self.num_matrices,
+                self.feature_dim,
+                self.dtype,
+                policy=self.config.cache_policy,
+            )
+
+        self.stats = ServingStats()
+        #: serializes every store gather and cache access
+        self._gather_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._pending: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._inflight: dict[int, _Entry] = {}
+        self._closed = False
+        self._latencies: deque = deque(maxlen=self.config.latency_window)
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="ppgnn-serving", daemon=True
+        )
+        self._thread.start()
+        logger.debug(
+            "serving engine up: %d rows, cache=%s(%d), adaptive_depth=%s",
+            self.num_rows,
+            self.config.cache_policy,
+            capacity,
+            self._depth is not None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # synchronous paths
+    # ------------------------------------------------------------------ #
+    def gather_direct(self, rows: Sequence[int]) -> np.ndarray:
+        """Reference path: fused gather, no cache, no coalescing.
+
+        Returns the ``(M, B, F)`` block (depth-truncated when adaptive depth
+        is on) — the ground truth the cached and coalesced paths must match.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        out = np.empty((self.num_matrices, rows.size, self.feature_dim), dtype=self.dtype)
+        with self._gather_lock:
+            self._gather_rows(rows, out)
+        return out
+
+    def fetch(self, rows: Sequence[int]) -> np.ndarray:
+        """Synchronous cache-aware gather (no coalescing window).
+
+        The lowest-latency path for a caller already holding a batch of ids:
+        hits copy from the hot-node cache, misses run one fused gather and
+        populate it.  Returns ``(M, B, F)`` in request order.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        unique, inverse = np.unique(rows, return_inverse=True)
+        with self._gather_lock:
+            blocks = self._assemble(unique)
+        if unique.size == rows.size and np.array_equal(unique, rows):
+            return blocks
+        return np.ascontiguousarray(blocks[:, inverse, :])
+
+    def predict(self, rows: Sequence[int]) -> np.ndarray:
+        """Class predictions for ``rows`` via the attached PP-GNN model."""
+        if self._model is None:
+            raise RuntimeError("this engine was built without a model; predictions unavailable")
+        feats = self.fetch(rows)
+        self._model.eval()
+        logits = self._model(feats)
+        return np.argmax(logits.data, axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # coalesced path
+    # ------------------------------------------------------------------ #
+    def submit(self, row: int) -> Future:
+        """Enqueue one node-id query; resolves to its ``(M, F)`` block.
+
+        Duplicate ids in the current window — and ids whose batch is already
+        being gathered — share a single gather.
+        """
+        row = int(row)
+        if not 0 <= row < self.num_rows:
+            raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+        future: Future = Future()
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ServingEngine")
+            self.stats.requests += 1
+            entry = self._inflight.get(row)
+            if entry is not None:
+                entry.futures.append((future, now))
+                self.stats.coalesced_inflight += 1
+                return future
+            entry = self._pending.get(row)
+            if entry is not None:
+                entry.futures.append((future, now))
+                self.stats.coalesced_window += 1
+                return future
+            self._pending[row] = _Entry(future, now)
+            self._cond.notify()
+        return future
+
+    def query(self, rows: Sequence[int], timeout: Optional[float] = None) -> np.ndarray:
+        """Submit every id in ``rows`` and block for the assembled block.
+
+        Goes through the coalescer (unlike :meth:`fetch`), so concurrent
+        callers share gathers.  Returns ``(M, B, F)`` in request order.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        futures = [self.submit(row) for row in rows]
+        out = np.empty((self.num_matrices, rows.size, self.feature_dim), dtype=self.dtype)
+        for i, future in enumerate(futures):
+            out[:, i, :] = future.result(timeout=timeout)
+        return out
+
+    def drain_latencies(self) -> np.ndarray:
+        """Return (and clear) per-request latencies in seconds, oldest first."""
+        with self._cond:
+            values = np.asarray(self._latencies, dtype=np.float64)
+            self._latencies.clear()
+        return values
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _serve_loop(self) -> None:
+        cfg = self.config
+        while True:
+            with self._cond:
+                while not self._closed and not self._pending:
+                    self._cond.wait()
+                if self._closed and not self._pending:
+                    return
+                # bounded-latency window: dispatch when the batch fills or the
+                # oldest pending request has waited window_seconds
+                while not self._closed and len(self._pending) < cfg.micro_batch_size:
+                    oldest = next(iter(self._pending.values()))
+                    remaining = oldest.enqueued + cfg.window_seconds - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._pending
+                self._pending = OrderedDict()
+                self._inflight.update(batch)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: "OrderedDict[int, _Entry]") -> None:
+        rows = np.fromiter(batch.keys(), dtype=np.int64, count=len(batch))
+        try:
+            with self._gather_lock:
+                blocks = self._assemble(rows)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            with self._cond:
+                for row in batch:
+                    self._inflight.pop(row, None)
+            self.stats.gather_errors += 1
+            for entry in batch.values():
+                for future, _ in entry.futures:
+                    future.set_exception(exc)
+            return
+        done = time.monotonic()
+        # pop from inflight under the lock *before* distributing: after this
+        # no new future can join an entry, so entry.futures is final
+        with self._cond:
+            for row in batch:
+                self._inflight.pop(row, None)
+            self.stats.batches += 1
+            for entry in batch.values():
+                for _, enqueued in entry.futures:
+                    self._latencies.append(done - enqueued)
+        for i, entry in enumerate(batch.values()):
+            block = np.ascontiguousarray(blocks[:, i, :])
+            for future, _ in entry.futures:
+                future.set_result(block)
+
+    def _assemble(self, unique_rows: np.ndarray) -> np.ndarray:
+        """Gather ``(M, U, F)`` for distinct rows through the cache.
+
+        Caller holds ``_gather_lock``.
+        """
+        out = np.empty(
+            (self.num_matrices, unique_rows.size, self.feature_dim), dtype=self.dtype
+        )
+        if self._cache is None:
+            self._gather_rows(unique_rows, out)
+            return out
+        miss_positions: List[int] = []
+        cacheable = np.ones(unique_rows.size, dtype=bool)
+        for i, row in enumerate(unique_rows):
+            row = int(row)
+            spec = fault_point("serve.cache", row=row)
+            if spec is not None and spec.kind == "leak":
+                # injected cache bypass: force the miss path for this row
+                cacheable[i] = False
+                miss_positions.append(i)
+                continue
+            block = self._cache.get(row)
+            if block is None:
+                miss_positions.append(i)
+            else:
+                out[:, i, :] = block
+        if miss_positions:
+            positions = np.asarray(miss_positions, dtype=np.int64)
+            miss_out = np.empty(
+                (self.num_matrices, positions.size, self.feature_dim), dtype=self.dtype
+            )
+            self._gather_rows(unique_rows[positions], miss_out)
+            out[:, positions, :] = miss_out
+            for j, i in enumerate(positions):
+                if cacheable[i]:
+                    self._cache.put(int(unique_rows[i]), miss_out[:, j, :])
+        self.stats.cache = self._cache.stats.snapshot()
+        return out
+
+    def _gather_rows(self, rows: np.ndarray, out: np.ndarray) -> None:
+        """Fill ``out`` with the store blocks for ``rows`` (cache-miss path)."""
+        fault_point("serve.gather", num_rows=int(rows.size))
+        depth = self._depth
+        if depth is None or depth.is_trivial() or rows.size == 0:
+            self._attached.gather_into(rows, out)
+            return
+        if depth.num_kernels > 1:
+            # multi-kernel packed layout interleaves kernels, so the leading
+            # matrices are not "the shallow hops" — gather fully, truncate after
+            self._attached.gather_into(rows, out)
+            depth.truncate(out, rows)
+            return
+        # single kernel: matrices are exactly hops 0..R, so a depth-d group
+        # only ever reads the first d+1 matrices of the packed block
+        depths = depth.depths[rows]
+        for d in np.unique(depths):
+            positions = np.flatnonzero(depths == d)
+            count = int(d) + 1
+            if count >= self.num_matrices:
+                partial = np.empty(
+                    (self.num_matrices, positions.size, self.feature_dim), dtype=self.dtype
+                )
+                self._attached.gather_into(rows[positions], partial)
+                out[:, positions, :] = partial
+                continue
+            partial = np.empty((count, positions.size, self.feature_dim), dtype=self.dtype)
+            self._attached.gather_hops_into(rows[positions], partial, count)
+            out[:count, positions, :] = partial
+            # hops beyond the node's depth repeat its deepest gathered hop
+            out[count:, positions, :] = partial[count - 1]
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def cache(self) -> Optional[HopCache]:
+        return self._cache
+
+    @property
+    def depth_policy(self) -> Optional[NodeAdaptiveDepth]:
+        return self._depth
+
+    def snapshot(self) -> dict:
+        """One dict of engine + cache counters (for logs and benchmarks)."""
+        if self._cache is not None:
+            self.stats.cache = self._cache.stats.snapshot()
+        return self.stats.snapshot()
+
+    def close(self) -> None:
+        """Stop the coalescer, fail stragglers, release the shm segment."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+        leftovers = []
+        with self._cond:
+            for entry in self._pending.values():
+                leftovers.extend(entry.futures)
+            self._pending.clear()
+            self._inflight.clear()
+        for future, _ in leftovers:
+            if not future.done():
+                future.set_exception(RuntimeError("ServingEngine closed before dispatch"))
+        self._attached.close()
+        self._shared.close()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

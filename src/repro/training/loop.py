@@ -231,6 +231,12 @@ class PPGNNTrainer:
         if isinstance(self.loader, MultiProcessLoader):
             self.loader.close()
 
+    def __enter__(self) -> "PPGNNTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def fit(self) -> TrainingHistory:
         """Train for ``config.num_epochs`` epochs with periodic evaluation."""
         for epoch in range(1, self.config.num_epochs + 1):

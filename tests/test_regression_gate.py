@@ -210,3 +210,88 @@ class TestComparePreprocessing:
         committed = Path(__file__).parent.parent / "BENCH_preprocessing.json"
         payload = json.loads(committed.read_text())
         assert check_regression.compare_preprocessing(payload, copy.deepcopy(payload), 0.2) == []
+
+
+@pytest.fixture()
+def serving_baseline() -> dict:
+    return {
+        "qps_target": 2000.0,
+        "p99_limit_ms": 50.0,
+        "cache_speedup_target": 1.2,
+        "results": {
+            "bit_identical_to_direct": True,
+            "cache": {"p50_cold_ms": 0.03, "p50_hit_ms": 0.015, "p50_speedup_vs_cold": 2.0},
+            "zipfian": {"qps": 60000.0, "p50_ms": 6.0, "p99_ms": 30.0},
+        },
+    }
+
+
+class TestCompareServing:
+    def test_identical_results_pass(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        assert check_regression.compare_serving(serving_baseline, fresh, 0.2) == []
+
+    def test_noise_above_target_passes(self, serving_baseline):
+        # 60k QPS baseline is far above the 2k target; 10k is noise
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["zipfian"]["qps"] = 10000.0
+        assert check_regression.compare_serving(serving_baseline, fresh, 0.2) == []
+
+    def test_degraded_qps_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["zipfian"]["qps"] = 500.0
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("zipfian.qps" in f for f in failures)
+
+    def test_inflated_p99_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["zipfian"]["p99_ms"] = 90.0
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("zipfian.p99_ms" in f for f in failures)
+
+    def test_p99_noise_below_limit_passes(self, serving_baseline):
+        # 55ms is above the 30ms baseline but within tolerance of the
+        # limit-capped baseline (max(30, 50) * 1.2 = 60)
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["zipfian"]["p99_ms"] = 55.0
+        assert check_regression.compare_serving(serving_baseline, fresh, 0.2) == []
+
+    def test_eroded_cache_speedup_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["cache"]["p50_speedup_vs_cold"] = 0.8
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("cache.p50_speedup_vs_cold" in f for f in failures)
+
+    def test_lost_bit_identity_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["bit_identical_to_direct"] = False
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("bit-identical" in f for f in failures)
+
+    def test_missing_metric_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        del fresh["results"]["zipfian"]["qps"]
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("missing" in f for f in failures)
+
+    def test_cli_kind_serving(self, serving_baseline, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(serving_baseline))
+        degraded = copy.deepcopy(serving_baseline)
+        degraded["results"]["zipfian"]["qps"] = 100.0
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(degraded))
+        code = check_regression.main(
+            ["--baseline", str(base), "--fresh", str(fresh), "--kind", "serving"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+        code = check_regression.main(
+            ["--baseline", str(base), "--fresh", str(base), "--kind", "serving"]
+        )
+        assert code == 0
+
+    def test_real_committed_baseline_passes_against_itself(self):
+        committed = Path(__file__).parent.parent / "BENCH_serving.json"
+        payload = json.loads(committed.read_text())
+        assert check_regression.compare_serving(payload, copy.deepcopy(payload), 0.2) == []

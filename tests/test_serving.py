@@ -1,0 +1,430 @@
+"""Serving tier: hot-node cache, node-adaptive depth, coalescing, faults.
+
+The load-bearing property throughout is *bit identity*: whatever path a
+query takes — direct gather, cache hit, cache miss, coalesced micro-batch,
+adaptive-depth truncation, injected cache bypass — the returned block must
+equal the reference ``store.gather_packed`` values (post-truncation when
+adaptive depth is on) byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hardware.memory import MemoryDevice
+from repro.hardware.spec import DeviceSpec
+from repro.resilience.faultinject import FaultPlan, FaultSpec, InjectedFault
+from repro.resilience.janitor import sweep_orphans
+from repro.serving import (
+    HopCache,
+    NodeAdaptiveDepth,
+    ServingConfig,
+    ServingEngine,
+)
+
+
+def zipfian_rows(num_rows: int, size: int, a: float = 1.1, seed: int = 0) -> np.ndarray:
+    """Skewed node-id traffic: rank-permuted power-law draw."""
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.arange(1, num_rows + 1) ** a
+    ranked = rng.choice(num_rows, size=size, p=weights / weights.sum())
+    return rng.permutation(num_rows)[ranked]
+
+
+@pytest.fixture()
+def engine(prepared_store):
+    with ServingEngine(
+        prepared_store.store, ServingConfig(cache_capacity=128, window_seconds=0.001)
+    ) as eng:
+        yield eng
+
+
+# =========================================================================== #
+# hot-node cache
+# =========================================================================== #
+class TestHopCache:
+    def make(self, capacity=3, policy="lru"):
+        return HopCache(capacity, num_matrices=2, feature_dim=4, dtype=np.float32, policy=policy)
+
+    def block(self, value):
+        return np.full((2, 4), value, dtype=np.float32)
+
+    def test_round_trip_and_stats(self):
+        cache = self.make()
+        assert cache.get(7) is None
+        cache.put(7, self.block(7))
+        got = cache.get(7)
+        assert np.array_equal(got, self.block(7))
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1 and 7 in cache
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = self.make(capacity=2, policy="lru")
+        cache.put(1, self.block(1))
+        cache.put(2, self.block(2))
+        cache.get(1)  # refresh 1; 2 becomes the LRU victim
+        cache.put(3, self.block(3))
+        assert 1 in cache and 3 in cache and 2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refresh_updates_value_and_recency(self):
+        cache = self.make(capacity=2, policy="lru")
+        cache.put(1, self.block(1))
+        cache.put(2, self.block(2))
+        cache.put(1, self.block(10))  # refresh: 2 is now oldest
+        cache.put(3, self.block(3))
+        assert 2 not in cache
+        assert np.array_equal(cache.get(1), self.block(10))
+
+    def test_clock_grants_second_chance(self):
+        cache = self.make(capacity=2, policy="clock")
+        cache.put(1, self.block(1))
+        cache.put(2, self.block(2))
+        cache.get(1)
+        cache.get(2)
+        # both referenced: the hand clears slot 0's bit first, then slot 1's,
+        # wraps, and evicts slot 0's occupant (node 1)
+        cache.put(3, self.block(3))
+        assert 3 in cache and len(cache) == 2
+        assert cache.stats.evictions == 1
+        # every resident entry still returns its own values
+        for row in (3, *(r for r in (1, 2) if r in cache)):
+            assert np.array_equal(cache.get(row), self.block(row))
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_fill_beyond_capacity_keeps_len_bounded(self, policy):
+        cache = self.make(capacity=4, policy=policy)
+        for row in range(20):
+            cache.put(row, self.block(row))
+        assert len(cache) == 4
+        assert cache.stats.evictions == 16
+        for row in list(range(20)):
+            got = cache.get(row)
+            if got is not None:
+                assert np.array_equal(got, self.block(row))
+
+    def test_clear_resets_everything(self):
+        cache = self.make()
+        cache.put(1, self.block(1))
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+        assert cache.get(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            self.make(capacity=0)
+        with pytest.raises(ValueError, match="policy"):
+            self.make(policy="mru")
+
+
+# =========================================================================== #
+# node-adaptive depth
+# =========================================================================== #
+class TestNodeAdaptiveDepth:
+    def test_higher_scores_get_shallower_depth(self):
+        scores = np.arange(100, dtype=np.float64)
+        depth = NodeAdaptiveDepth.from_scores(scores, num_hops=3, min_depth=1)
+        assert depth.depths.min() == 1 and depth.depths.max() == 3
+        # monotone: sorting by score never increases depth
+        order = np.argsort(scores)
+        assert np.all(np.diff(depth.depths[order]) <= 0)
+
+    def test_uniform_scores_keep_full_depth(self):
+        depth = NodeAdaptiveDepth.from_scores(np.ones(50), num_hops=3)
+        assert depth.is_trivial()
+        assert np.all(depth.depths == 3)
+
+    def test_truncate_matches_manual_reference(self):
+        rng = np.random.default_rng(3)
+        num_hops, num_kernels, feat = 3, 2, 5
+        per = num_hops + 1
+        depths = rng.integers(1, num_hops + 1, size=30)
+        depth = NodeAdaptiveDepth(depths, num_hops=num_hops, num_kernels=num_kernels)
+        block = rng.standard_normal((num_kernels * per, 12, feat)).astype(np.float32)
+        rows = rng.integers(0, 30, size=12)
+        expected = block.copy()
+        for col, row in enumerate(rows):
+            for k in range(num_kernels):
+                for hop in range(depths[row] + 1, per):
+                    expected[k * per + hop, col] = expected[k * per + depths[row], col]
+        got = depth.truncate(block.copy(), rows)
+        assert np.array_equal(got, expected)
+
+    def test_from_graph_uses_out_degree(self, small_dataset, prepared_store):
+        store = prepared_store.store
+        depth = NodeAdaptiveDepth.from_graph(
+            small_dataset.graph, store.node_ids, num_hops=store.num_hops
+        )
+        assert depth.depths.shape == (store.num_rows,)
+        degrees = small_dataset.graph.out_degree(store.node_ids)
+        # the highest-degree row must sit in the shallowest occupied band
+        assert depth.depths[np.argmax(degrees)] == depth.depths.min()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="min_depth"):
+            NodeAdaptiveDepth.from_scores(np.ones(5), num_hops=2, min_depth=3)
+        with pytest.raises(ValueError, match="quantiles"):
+            NodeAdaptiveDepth.from_scores(np.ones(5), num_hops=2, quantiles=(0.0, 0.5))
+        with pytest.raises(ValueError, match="depths"):
+            NodeAdaptiveDepth(np.array([5]), num_hops=3, num_kernels=1)
+
+
+# =========================================================================== #
+# serving config
+# =========================================================================== #
+class TestServingConfig:
+    def test_defaults_valid(self):
+        ServingConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"micro_batch_size": 0},
+            {"window_seconds": -1.0},
+            {"cache_policy": "fifo"},
+            {"cache_capacity": 0},
+            {"cache_fraction": 0.0},
+            {"min_depth": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_capacity_resolution_order(self):
+        entry = 1024
+        assert ServingConfig(cache_capacity=7).resolve_cache_capacity(entry) == 7
+        assert ServingConfig(cache_bytes=10 * entry).resolve_cache_capacity(entry) == 10
+        assert ServingConfig(cache_policy="none").resolve_cache_capacity(entry) == 0
+        assert (
+            ServingConfig().resolve_cache_capacity(entry)
+            == ServingConfig.DEFAULT_CACHE_CAPACITY
+        )
+
+    def test_capacity_from_host_headroom(self):
+        host = MemoryDevice(DeviceSpec(name="host", capacity_bytes=1024**2, bandwidth=1e9))
+        entry = 1024
+        config = ServingConfig(cache_fraction=0.5)
+        assert config.resolve_cache_capacity(entry, host) == host.fit_count(entry, 0.5)
+        assert host.fit_count(entry, 0.5) == 512
+        with pytest.raises(ValueError):
+            host.fit_count(0)
+
+
+# =========================================================================== #
+# engine correctness: every path bit-identical to the store
+# =========================================================================== #
+class TestServingCorrectness:
+    def test_direct_fetch_query_match_store(self, engine, prepared_store):
+        store = prepared_store.store
+        rows = zipfian_rows(store.num_rows, 200, seed=1)
+        reference = store.gather_packed(np.asarray(rows, dtype=np.int64))
+        assert np.array_equal(engine.gather_direct(rows), reference)
+        assert np.array_equal(engine.fetch(rows), reference)  # cold cache
+        assert np.array_equal(engine.fetch(rows), reference)  # warm cache
+        assert np.array_equal(engine.query(rows), reference)  # coalesced
+        assert engine.cache.stats.hits > 0
+
+    def test_cache_disabled_still_identical(self, prepared_store):
+        store = prepared_store.store
+        rows = zipfian_rows(store.num_rows, 100, seed=2)
+        reference = store.gather_packed(np.asarray(rows, dtype=np.int64))
+        with ServingEngine(store, ServingConfig(cache_policy="none")) as eng:
+            assert eng.cache is None
+            assert np.array_equal(eng.fetch(rows), reference)
+            assert np.array_equal(eng.query(rows), reference)
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_tiny_cache_thrashing_stays_identical(self, prepared_store, policy):
+        store = prepared_store.store
+        rows = zipfian_rows(store.num_rows, 300, seed=3)
+        reference = store.gather_packed(np.asarray(rows, dtype=np.int64))
+        config = ServingConfig(cache_policy=policy, cache_capacity=8)
+        with ServingEngine(store, config) as eng:
+            for _ in range(2):
+                assert np.array_equal(eng.fetch(rows), reference)
+            assert eng.cache.stats.evictions > 0
+
+    def test_concurrent_zipfian_queries_match_single_node_gathers(self, engine, prepared_store):
+        store = prepared_store.store
+        per_thread = [zipfian_rows(store.num_rows, 80, seed=s) for s in range(4)]
+        failures: list = []
+
+        def worker(rows):
+            try:
+                futures = [engine.submit(int(row)) for row in rows]
+                for row, future in zip(rows, futures):
+                    expected = store.gather_packed(np.array([row], dtype=np.int64))[:, 0, :]
+                    got = future.result(timeout=10)
+                    if not np.array_equal(got, expected):
+                        failures.append(int(row))
+            except Exception as exc:  # pragma: no cover - surfaced via assert
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(rows,)) for rows in per_thread]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        snap = engine.snapshot()
+        assert snap["requests"] == 4 * 80
+        # skewed ids across 4 threads must coalesce at least once
+        assert snap["coalesced_window"] + snap["coalesced_inflight"] > 0
+
+    def test_adaptive_depth_identical_across_paths(self, small_dataset, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(adaptive_depth=True, min_depth=1, cache_capacity=64)
+        rows = zipfian_rows(store.num_rows, 150, seed=4)
+        with ServingEngine(store, config, graph=small_dataset.graph) as eng:
+            assert not eng.depth_policy.is_trivial()
+            reference = store.gather_packed(np.asarray(rows, dtype=np.int64)).copy()
+            eng.depth_policy.truncate(reference, rows)
+            assert np.array_equal(eng.gather_direct(rows), reference)
+            assert np.array_equal(eng.fetch(rows), reference)  # miss path
+            assert np.array_equal(eng.fetch(rows), reference)  # hit path
+            assert np.array_equal(eng.query(rows), reference)
+
+    def test_adaptive_depth_requires_graph(self, prepared_store):
+        with pytest.raises(ValueError, match="graph"):
+            ServingEngine(prepared_store.store, ServingConfig(adaptive_depth=True))
+
+    def test_submit_validates_row_range(self, engine):
+        with pytest.raises(IndexError):
+            engine.submit(engine.num_rows)
+        with pytest.raises(IndexError):
+            engine.submit(-1)
+
+    def test_latency_drain(self, engine):
+        engine.query(np.arange(10))
+        latencies = engine.drain_latencies()
+        assert latencies.size == 10
+        assert np.all(latencies >= 0)
+        assert engine.drain_latencies().size == 0
+
+
+# =========================================================================== #
+# coalescing mechanics
+# =========================================================================== #
+class TestCoalescing:
+    def test_window_dedup_collapses_duplicate_ids(self, prepared_store):
+        store = prepared_store.store
+        # huge window so every submission lands in one micro-batch
+        config = ServingConfig(window_seconds=0.2, micro_batch_size=1024, cache_policy="none")
+        with ServingEngine(store, config) as eng:
+            futures = [eng.submit(row % 5) for row in range(50)]
+            results = [f.result(timeout=10) for f in futures]
+            snap = eng.snapshot()
+            assert snap["batches"] == 1
+            assert snap["coalesced_window"] == 45  # 50 requests over 5 distinct ids
+            for row, got in zip(range(50), results):
+                expected = store.gather_packed(np.array([row % 5], dtype=np.int64))[:, 0, :]
+                assert np.array_equal(got, expected)
+
+    def test_inflight_join_shares_the_running_gather(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(window_seconds=0.0, micro_batch_size=1, cache_policy="none")
+        # stall the first gather long enough for a duplicate submit to arrive
+        plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="stall", at_hit=1, stall_seconds=0.3)])
+        with ServingEngine(store, config) as eng, plan.active():
+            first = eng.submit(3)
+            deadline = 50
+            while eng.stats.batches == 0 and not eng._inflight and deadline:
+                threading.Event().wait(0.01)
+                deadline -= 1
+            joined = eng.submit(3)  # id 3 is mid-gather: must join, not re-gather
+            expected = store.gather_packed(np.array([3], dtype=np.int64))[:, 0, :]
+            assert np.array_equal(first.result(timeout=10), expected)
+            assert np.array_equal(joined.result(timeout=10), expected)
+            assert eng.snapshot()["coalesced_inflight"] == 1
+
+    def test_micro_batch_size_bounds_dispatch(self, prepared_store):
+        config = ServingConfig(window_seconds=10.0, micro_batch_size=4, cache_policy="none")
+        with ServingEngine(prepared_store.store, config) as eng:
+            futures = [eng.submit(row) for row in range(4)]
+            # batch full => dispatch fires despite the 10s window
+            for f in futures:
+                f.result(timeout=10)
+            assert eng.snapshot()["batches"] == 1
+
+    def test_submit_after_close_raises(self, prepared_store):
+        eng = ServingEngine(prepared_store.store, ServingConfig())
+        eng.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            eng.submit(0)
+        eng.close()  # idempotent
+
+
+# =========================================================================== #
+# fault injection on the serving path
+# =========================================================================== #
+class TestServingFaults:
+    def test_gather_error_fails_futures_but_not_engine(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(window_seconds=0.001, cache_policy="none")
+        plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="error", at_hit=1)])
+        with ServingEngine(store, config) as eng, plan.active():
+            doomed = eng.submit(1)
+            with pytest.raises(InjectedFault):
+                doomed.result(timeout=10)
+            assert eng.snapshot()["gather_errors"] == 1
+            # the engine survives and the next query succeeds
+            expected = store.gather_packed(np.array([1], dtype=np.int64))[:, 0, :]
+            assert np.array_equal(eng.submit(1).result(timeout=10), expected)
+
+    def test_cache_bypass_fault_forces_misses_with_identical_results(self, prepared_store):
+        store = prepared_store.store
+        rows = np.arange(6, dtype=np.int64)
+        reference = store.gather_packed(rows)
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.cache", kind="leak", at_hit=1, repeat=10_000)]
+        )
+        with ServingEngine(store, ServingConfig(cache_capacity=64)) as eng, plan.active():
+            assert np.array_equal(eng.fetch(rows), reference)
+            assert np.array_equal(eng.fetch(rows), reference)
+            # every lookup was bypassed: nothing was inserted, nothing hit
+            assert len(eng.cache) == 0
+            assert eng.cache.stats.insertions == 0
+
+    def test_gather_ioerror_direct_path_propagates(self, prepared_store):
+        plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="ioerror", at_hit=1)])
+        with ServingEngine(prepared_store.store, ServingConfig(cache_policy="none")) as eng:
+            with plan.active(), pytest.raises(OSError):
+                eng.gather_direct([0, 1])
+            assert np.array_equal(
+                eng.gather_direct([0, 1]),
+                prepared_store.store.gather_packed(np.array([0, 1], dtype=np.int64)),
+            )
+
+
+# =========================================================================== #
+# shared-memory lifecycle
+# =========================================================================== #
+class TestServingShm:
+    def test_engine_segment_is_tagged_and_unlinked(self, prepared_store):
+        eng = ServingEngine(prepared_store.store, ServingConfig())
+        name = eng._shared.handle.shm_name
+        assert name is not None and "-serve-" in name
+        assert os.path.exists(f"/dev/shm/{name}")
+        eng.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_janitor_sweeps_dead_serving_segments(self, tmp_path):
+        import multiprocessing as mp
+
+        process = mp.get_context("fork").Process(target=lambda: None)
+        process.start()
+        process.join()
+        orphan = tmp_path / f"ppgnn-serve-{process.pid}-deadbeef"
+        live = tmp_path / f"ppgnn-serve-{os.getpid()}-cafebabe"
+        orphan.write_bytes(b"x")
+        live.write_bytes(b"x")
+        assert sweep_orphans(shm_dir=tmp_path) == [orphan]
+        assert not orphan.exists() and live.exists()
+        live.unlink()
