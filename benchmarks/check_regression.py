@@ -14,8 +14,11 @@ selected with ``--kind``:
   or its wall-time ratio inflating more than ``--tolerance`` above baseline.
 * ``serving`` — the serving-throughput benchmark (``BENCH_serving.json``):
   coalesced answers no longer bit-identical to direct gathers, Zipfian QPS
-  regressing below baseline, p99 latency inflating above baseline, or the
-  cache-hit p50 advantage over cold gathers eroding.
+  regressing below baseline, p99 latency inflating above baseline, the
+  cache-hit p50 advantage over cold gathers eroding, or the overload row's
+  invariants breaking — requests silently lost, untyped overload failures,
+  the engine failing to keep serving after a dispatcher respawn, or
+  accepted-request p99 under 2x load inflating above baseline.
 
 Because each gated metric's baseline can sit far beyond its acceptance
 target out of measurement luck, the baseline is capped at the acceptance
@@ -64,6 +67,19 @@ SERVING_GATES = (
     ("zipfian", "qps", "qps_target", "min"),
     ("zipfian", "p99_ms", "p99_limit_ms", "max"),
     ("cache", "p50_speedup_vs_cold", "cache_speedup_target", "min"),
+    ("overload", "accepted_p99_ms", "overload_p99_limit_ms", "max"),
+)
+
+#: overload-row boolean invariants: once the committed baseline holds one
+#: true, a fresh run where it is false (or missing) fails the gate
+SERVING_OVERLOAD_FLAGS = (
+    ("zero_lost", "requests were silently lost under overload"),
+    ("typed_errors_only", "overload failures are no longer typed serving errors"),
+    (
+        "kept_serving_after_respawn",
+        "engine no longer keeps serving (bit-identically) after a dispatcher respawn",
+    ),
+    ("bit_identical_sample", "accepted overload answers diverged from direct gathers"),
 )
 
 
@@ -143,12 +159,17 @@ def compare_preprocessing(baseline: dict, fresh: dict, tolerance: float) -> list
 
 
 def compare_serving(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
-    """Serving gate: bit identity, Zipfian QPS/p99, cache-hit p50 advantage."""
+    """Serving gate: bit identity, Zipfian QPS/p99, cache p50, overload invariants."""
     failures: list[str] = []
     if baseline.get("results", {}).get("bit_identical_to_direct") and not fresh.get(
         "results", {}
     ).get("bit_identical_to_direct"):
         failures.append("coalesced answers are no longer bit-identical to direct gathers")
+    base_overload = baseline.get("results", {}).get("overload", {})
+    fresh_overload = fresh.get("results", {}).get("overload", {})
+    for flag, message in SERVING_OVERLOAD_FLAGS:
+        if base_overload.get(flag) and not fresh_overload.get(flag):
+            failures.append(f"overload.{flag}: {message}")
     failures.extend(_directional_failures(SERVING_GATES, baseline, fresh, tolerance))
     return failures
 

@@ -13,12 +13,25 @@ The package is organised as a layered system:
 
 __version__ = "0.1.0"
 
-from repro.api import LoaderConfig, ServingConfig, Session, open_dataset  # noqa: E402
+from repro.api import (  # noqa: E402
+    DeadlineExceeded,
+    DispatcherFailed,
+    LoaderConfig,
+    OverloadError,
+    ServingConfig,
+    ServingError,
+    Session,
+    open_dataset,
+)
 
 __all__ = [
     "__version__",
+    "DeadlineExceeded",
+    "DispatcherFailed",
     "LoaderConfig",
+    "OverloadError",
     "ServingConfig",
+    "ServingError",
     "Session",
     "open_dataset",
 ]

@@ -38,12 +38,23 @@ from repro.models import build_pp_model
 from repro.models.base import PPGNNModel
 from repro.prepropagation import PreprocessingPipeline, PropagationConfig
 from repro.prepropagation.store import FeatureStore
-from repro.serving import ServingConfig, ServingEngine
+from repro.serving import (
+    DeadlineExceeded,
+    DispatcherFailed,
+    OverloadError,
+    ServingConfig,
+    ServingEngine,
+    ServingError,
+)
 from repro.training import PPGNNTrainer, TrainerConfig
 
 __all__ = [
+    "DeadlineExceeded",
+    "DispatcherFailed",
     "LoaderConfig",
+    "OverloadError",
     "ServingConfig",
+    "ServingError",
     "Session",
     "open_dataset",
     "build_loader",
@@ -257,6 +268,21 @@ class Session:
         )
         self._resources.append(engine)
         return engine
+
+    def health(self) -> dict:
+        """Aggregate readiness snapshot across the session's serving engines.
+
+        ``ready`` is true when the session is open and every serving engine
+        it started reports ready (vacuously true with no engines) — the shape
+        a load-balancer health endpoint would poll.
+        """
+        engines = [r for r in self._resources if isinstance(r, ServingEngine)]
+        serving = [engine.health() for engine in engines]
+        return {
+            "closed": self._closed,
+            "ready": not self._closed and all(s["ready"] for s in serving),
+            "serving": serving,
+        }
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -76,6 +76,8 @@ KNOWN_SITES = (
     "shm.unlink",                # before unlinking a shared-memory segment
     "serve.gather",              # serving engine, before a cache-miss store gather
     "serve.cache",               # serving engine, per-row cache lookup ("leak" = bypass)
+    "serve.dispatch",            # dispatcher loop, after claiming a micro-batch
+    "serve.drain",               # dispatcher loop, on a batch claimed during close(drain=True)
 )
 
 

@@ -22,6 +22,25 @@ three layered optimizations:
 All three paths — direct, cached, coalesced — return bit-identical blocks:
 the cache stores post-truncation values and depth assignment is a pure
 per-row function, so correctness tests can compare them byte for byte.
+
+On top of the fast path sits the **overload/resilience layer**:
+
+* admission control bounds the pending queue (``max_pending`` distinct ids)
+  and sheds excess load with a typed :class:`OverloadError` — immediately
+  (``shed_policy="reject"``) or after a bounded wait (``"block"``);
+* every request may carry a deadline; the dispatcher drops expired entries
+  with :class:`DeadlineExceeded` *before* paying for their gather;
+* transient gather faults are retried with bounded exponential backoff
+  before failing only the affected futures;
+* a watchdog thread supervises the dispatcher via heartbeats
+  (:class:`~repro.resilience.supervisor.SupervisorPolicy`): a dead or
+  stalled ``_serve_loop`` has its in-flight futures failed with
+  :class:`DispatcherFailed` and is respawned under a respawn budget; once
+  the budget is spent the engine *degrades* to synchronous inline gathers
+  (bit-identical, mirroring the self-healing loader) instead of going dark;
+* :meth:`health` reports readiness/liveness, and :meth:`close` supports a
+  graceful drain: admission stops, the queue flushes under a drain deadline,
+  stragglers fail typed — **no submitted future is ever silently dropped**.
 """
 
 from __future__ import annotations
@@ -29,7 +48,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -41,6 +60,7 @@ from repro.resilience.faultinject import fault_point
 from repro.serving.cache import HopCache
 from repro.serving.config import ServingConfig
 from repro.serving.depth import NodeAdaptiveDepth
+from repro.serving.errors import DeadlineExceeded, DispatcherFailed, OverloadError
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.engine")
@@ -58,7 +78,20 @@ class ServingStats:
     coalesced_window: int = 0
     #: ids that joined a batch already being gathered
     coalesced_inflight: int = 0
+    #: micro-batches whose gather failed even after retries
     gather_errors: int = 0
+    #: requests refused by admission control (OverloadError)
+    shed: int = 0
+    #: requests dropped at dispatch because their deadline had passed
+    expired: int = 0
+    #: transient gather failures that were retried
+    retried: int = 0
+    #: dispatcher threads respawned by the watchdog
+    respawns: int = 0
+    dispatcher_crashes: int = 0
+    dispatcher_stalls: int = 0
+    #: requests answered synchronously after degradation to inline gathers
+    inline_gathers: int = 0
     cache: dict = field(default_factory=dict)
 
     def snapshot(self) -> dict:
@@ -68,10 +101,21 @@ class ServingStats:
             "coalesced_window": self.coalesced_window,
             "coalesced_inflight": self.coalesced_inflight,
             "gather_errors": self.gather_errors,
+            "shed": self.shed,
+            "expired": self.expired,
+            "retried": self.retried,
+            "respawns": self.respawns,
+            "dispatcher_crashes": self.dispatcher_crashes,
+            "dispatcher_stalls": self.dispatcher_stalls,
+            "inline_gathers": self.inline_gathers,
         }
         if self.cache:
             out["cache"] = dict(self.cache)
         return out
+
+
+#: one waiter on a node id: (future, enqueue time, absolute deadline or None)
+_Waiter = Tuple[Future, float, Optional[float]]
 
 
 class _Entry:
@@ -79,8 +123,8 @@ class _Entry:
 
     __slots__ = ("futures", "enqueued")
 
-    def __init__(self, future: Future, now: float) -> None:
-        self.futures: List[Tuple[Future, float]] = [(future, now)]
+    def __init__(self, future: Future, now: float, deadline: Optional[float]) -> None:
+        self.futures: List[_Waiter] = [(future, now, deadline)]
         self.enqueued = now
 
 
@@ -151,23 +195,36 @@ class ServingEngine:
             )
 
         self.stats = ServingStats()
+        self._policy = self.config.resolve_supervisor()
         #: serializes every store gather and cache access
         self._gather_lock = threading.Lock()
         self._cond = threading.Condition()
         self._pending: "OrderedDict[int, _Entry]" = OrderedDict()
         self._inflight: dict[int, _Entry] = {}
         self._closed = False
+        self._draining = False
+        self._degraded = False
+        #: dispatcher incarnation: bumped to retire a dead/stalled/closing loop
+        self._generation = 0
+        self._heartbeat = time.monotonic()
         self._latencies: deque = deque(maxlen=self.config.latency_window)
-        self._thread = threading.Thread(
-            target=self._serve_loop, name="ppgnn-serving", daemon=True
-        )
-        self._thread.start()
+        self._thread = self._spawn_dispatcher()
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if self.config.watchdog:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="ppgnn-serving-watchdog", daemon=True
+            )
+            self._watchdog.start()
         logger.debug(
-            "serving engine up: %d rows, cache=%s(%d), adaptive_depth=%s",
+            "serving engine up: %d rows, cache=%s(%d), adaptive_depth=%s, "
+            "max_pending=%s, watchdog=%s",
             self.num_rows,
             self.config.cache_policy,
             capacity,
             self._depth is not None,
+            self.config.max_pending,
+            self.config.watchdog,
         )
 
     # ------------------------------------------------------------------ #
@@ -212,47 +269,108 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # coalesced path
     # ------------------------------------------------------------------ #
-    def submit(self, row: int) -> Future:
+    def submit(self, row: int, *, deadline_seconds: Optional[float] = None) -> Future:
         """Enqueue one node-id query; resolves to its ``(M, F)`` block.
 
         Duplicate ids in the current window — and ids whose batch is already
-        being gathered — share a single gather.
+        being gathered — share a single gather and bypass admission control
+        (they add no gather work).  A new distinct id must pass admission:
+        when the pending queue holds ``max_pending`` ids the request is shed
+        with :class:`OverloadError` (``shed_policy="reject"``) or blocks up to
+        ``admission_timeout_seconds`` for space (``"block"``).
+
+        ``deadline_seconds`` (default ``config.default_deadline_seconds``)
+        bounds how long the request may wait before the dispatcher drops it
+        with :class:`DeadlineExceeded` instead of gathering for it.
         """
         row = int(row)
         if not 0 <= row < self.num_rows:
             raise IndexError(f"row {row} out of range [0, {self.num_rows})")
+        cfg = self.config
         future: Future = Future()
         now = time.monotonic()
+        ttl = deadline_seconds if deadline_seconds is not None else cfg.default_deadline_seconds
+        deadline = now + ttl if ttl is not None else None
+        inline = False
+        admit_deadline: Optional[float] = None
         with self._cond:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed ServingEngine")
+            self._ensure_open()
             self.stats.requests += 1
-            entry = self._inflight.get(row)
-            if entry is not None:
-                entry.futures.append((future, now))
-                self.stats.coalesced_inflight += 1
-                return future
-            entry = self._pending.get(row)
-            if entry is not None:
-                entry.futures.append((future, now))
-                self.stats.coalesced_window += 1
-                return future
-            self._pending[row] = _Entry(future, now)
-            self._cond.notify()
+            while True:
+                entry = self._inflight.get(row)
+                if entry is not None:
+                    entry.futures.append((future, now, deadline))
+                    self.stats.coalesced_inflight += 1
+                    return future
+                entry = self._pending.get(row)
+                if entry is not None:
+                    entry.futures.append((future, now, deadline))
+                    self.stats.coalesced_window += 1
+                    return future
+                if self._degraded:
+                    inline = True
+                    break
+                if cfg.max_pending is None or len(self._pending) < cfg.max_pending:
+                    self._pending[row] = _Entry(future, now, deadline)
+                    self._cond.notify()
+                    break
+                # queue full: shed now, or block for space up to the timeout
+                if cfg.shed_policy == "reject":
+                    self.stats.shed += 1
+                    raise OverloadError(
+                        f"pending queue full ({len(self._pending)}/{cfg.max_pending} "
+                        f"distinct ids); request for row {row} shed"
+                    )
+                if admit_deadline is None:
+                    admit_deadline = now + cfg.admission_timeout_seconds
+                remaining = admit_deadline - time.monotonic()
+                if remaining <= 0:
+                    self.stats.shed += 1
+                    raise OverloadError(
+                        f"no queue space within admission timeout "
+                        f"({cfg.admission_timeout_seconds}s); request for row {row} shed"
+                    )
+                self._cond.wait(timeout=remaining)
+                self._ensure_open()
+        if inline:
+            # degraded mode: the dispatcher is gone for good — answer
+            # synchronously through the same cache-aware path (bit-identical)
+            block = np.ascontiguousarray(self.fetch([row])[:, 0, :])
+            self.stats.inline_gathers += 1
+            with self._cond:
+                self._latencies.append(time.monotonic() - now)
+            future.set_result(block)
         return future
 
-    def query(self, rows: Sequence[int], timeout: Optional[float] = None) -> np.ndarray:
+    def query(
+        self,
+        rows: Sequence[int],
+        timeout: Optional[float] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> np.ndarray:
         """Submit every id in ``rows`` and block for the assembled block.
 
         Goes through the coalescer (unlike :meth:`fetch`), so concurrent
         callers share gathers.  Returns ``(M, B, F)`` in request order.
+
+        On any failure — a ``timeout`` expiry, a shed submit, a typed
+        per-request error — every other future this call created is cancelled
+        or drained before the exception propagates, so no future leaks past
+        the call.
         """
         rows = np.asarray(rows, dtype=np.int64).ravel()
-        futures = [self.submit(row) for row in rows]
-        out = np.empty((self.num_matrices, rows.size, self.feature_dim), dtype=self.dtype)
-        for i, future in enumerate(futures):
-            out[:, i, :] = future.result(timeout=timeout)
-        return out
+        futures: List[Future] = []
+        try:
+            for row in rows:
+                futures.append(self.submit(row, deadline_seconds=deadline_seconds))
+            out = np.empty((self.num_matrices, rows.size, self.feature_dim), dtype=self.dtype)
+            for i, future in enumerate(futures):
+                out[:, i, :] = future.result(timeout=timeout)
+            return out
+        except BaseException:
+            self._abandon_futures(futures)
+            raise
 
     def drain_latencies(self) -> np.ndarray:
         """Return (and clear) per-request latencies in seconds, oldest first."""
@@ -264,55 +382,297 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _serve_loop(self) -> None:
+    def _ensure_open(self) -> None:
+        """Caller holds ``_cond``."""
+        if self._closed:
+            raise RuntimeError("cannot submit to a closed ServingEngine")
+        if self._draining:
+            raise RuntimeError("ServingEngine is draining; admission closed")
+
+    def _abandon_futures(self, futures: Sequence[Future]) -> None:
+        """Cancel this call's undone futures and prune emptied pending entries."""
+        with self._cond:
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            for row in list(self._pending.keys()):
+                entry = self._pending[row]
+                live = [waiter for waiter in entry.futures if not waiter[0].cancelled()]
+                if live:
+                    entry.futures = live
+                else:
+                    del self._pending[row]
+            self._cond.notify_all()  # queue space may have freed for blocked admits
+
+    @staticmethod
+    def _resolve(future: Future, block: np.ndarray) -> None:
+        """Set a result, tolerating futures already cancelled or failed elsewhere."""
+        try:
+            if future.set_running_or_notify_cancel():
+                future.set_result(block)
+        except InvalidStateError:
+            pass  # watchdog or close already failed this future; their verdict stands
+
+    @staticmethod
+    def _fail(future: Future, exc: BaseException) -> None:
+        try:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(exc)
+        except InvalidStateError:
+            pass
+
+    def _spawn_dispatcher(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._serve_loop, args=(self._generation,), name="ppgnn-serving", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def _serve_loop(self, generation: int) -> None:
         cfg = self.config
+        # bounded waits keep the heartbeat fresh while idle, so the watchdog
+        # only sees a stale heartbeat when the loop is genuinely wedged
+        wait_slice = self._policy.stall_timeout_seconds / 4.0
         while True:
             with self._cond:
-                while not self._closed and not self._pending:
-                    self._cond.wait()
+                self._heartbeat = time.monotonic()
+                while generation == self._generation and not self._closed and not self._pending:
+                    self._cond.wait(timeout=wait_slice)
+                    self._heartbeat = time.monotonic()
+                if generation != self._generation:
+                    return
                 if self._closed and not self._pending:
                     return
                 # bounded-latency window: dispatch when the batch fills or the
                 # oldest pending request has waited window_seconds
-                while not self._closed and len(self._pending) < cfg.micro_batch_size:
+                while (
+                    not self._closed
+                    and self._pending
+                    and len(self._pending) < cfg.micro_batch_size
+                ):
                     oldest = next(iter(self._pending.values()))
                     remaining = oldest.enqueued + cfg.window_seconds - time.monotonic()
                     if remaining <= 0:
                         break
-                    self._cond.wait(timeout=remaining)
+                    self._cond.wait(timeout=min(remaining, wait_slice))
+                    self._heartbeat = time.monotonic()
+                    if generation != self._generation:
+                        return
+                if generation != self._generation:
+                    return
+                if not self._pending:
+                    continue  # a query() cleanup emptied the window mid-wait
+                draining = self._closed
                 batch = self._pending
                 self._pending = OrderedDict()
                 self._inflight.update(batch)
-            self._dispatch(batch)
+                self._cond.notify_all()  # queue space freed: wake blocked admits
+            if draining:
+                fault_point("serve.drain", pending=len(batch), generation=generation)
+            fault_point("serve.dispatch", batch_size=len(batch), generation=generation)
+            self._dispatch(batch, generation)
 
-    def _dispatch(self, batch: "OrderedDict[int, _Entry]") -> None:
-        rows = np.fromiter(batch.keys(), dtype=np.int64, count=len(batch))
-        try:
-            with self._gather_lock:
-                blocks = self._assemble(rows)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
-            with self._cond:
-                for row in batch:
+    def _dispatch(self, batch: "OrderedDict[int, _Entry]", generation: int) -> None:
+        cfg = self.config
+        now = time.monotonic()
+        expired: List[_Waiter] = []
+        with self._cond:
+            if generation != self._generation:
+                return  # retired by the watchdog; it already settled these futures
+            # deadline pass: drop expired/cancelled waiters before paying for
+            # their gather; entries left with no live waiter leave the batch
+            for row in list(batch.keys()):
+                entry = batch[row]
+                live: List[_Waiter] = []
+                for waiter in entry.futures:
+                    future, _, deadline = waiter
+                    if future.cancelled():
+                        continue
+                    if deadline is not None and now > deadline:
+                        expired.append(waiter)
+                        continue
+                    live.append(waiter)
+                if live:
+                    entry.futures = live
+                else:
+                    del batch[row]
                     self._inflight.pop(row, None)
-            self.stats.gather_errors += 1
-            for entry in batch.values():
-                for future, _ in entry.futures:
-                    future.set_exception(exc)
+            self.stats.expired += len(expired)
+            if expired or not batch:
+                self._cond.notify_all()
+        for future, enqueued, deadline in expired:
+            self._fail(
+                future,
+                DeadlineExceeded(
+                    f"request waited {now - enqueued:.3f}s, past its "
+                    f"{deadline - enqueued:.3f}s deadline"
+                ),
+            )
+        if not batch:
             return
+        rows = np.fromiter(batch.keys(), dtype=np.int64, count=len(batch))
+        attempt = 0
+        while True:
+            try:
+                with self._gather_lock:
+                    blocks = self._assemble(rows)
+                break
+            except Exception as exc:
+                if attempt >= cfg.gather_retries:
+                    self._fail_batch(batch, exc)
+                    return
+                attempt += 1
+                self.stats.retried += 1
+                logger.warning(
+                    "serve gather failed (retry %d/%d): %s", attempt, cfg.gather_retries, exc
+                )
+                time.sleep(min(cfg.gather_backoff_seconds * (2 ** (attempt - 1)), 1.0))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+                self._fail_batch(batch, exc)
+                return
         done = time.monotonic()
         # pop from inflight under the lock *before* distributing: after this
         # no new future can join an entry, so entry.futures is final
         with self._cond:
+            if generation != self._generation:
+                return  # watchdog failed these futures while we gathered
             for row in batch:
                 self._inflight.pop(row, None)
             self.stats.batches += 1
-            for entry in batch.values():
-                for _, enqueued in entry.futures:
-                    self._latencies.append(done - enqueued)
+            for _, enqueued, _ in (w for entry in batch.values() for w in entry.futures):
+                self._latencies.append(done - enqueued)
+            self._cond.notify_all()  # wake the drain waiter in close()
         for i, entry in enumerate(batch.values()):
             block = np.ascontiguousarray(blocks[:, i, :])
-            for future, _ in entry.futures:
-                future.set_result(block)
+            for future, _, _ in entry.futures:
+                self._resolve(future, block)
+
+    def _fail_batch(self, batch: "OrderedDict[int, _Entry]", exc: BaseException) -> None:
+        with self._cond:
+            for row in batch:
+                self._inflight.pop(row, None)
+            self.stats.gather_errors += 1
+            self._cond.notify_all()
+        for entry in batch.values():
+            for future, _, _ in entry.futures:
+                self._fail(future, exc)
+
+    # ------------------------------------------------------------------ #
+    # supervision
+    # ------------------------------------------------------------------ #
+    def _watchdog_loop(self) -> None:
+        policy = self._policy
+        while not self._watchdog_stop.wait(self.config.watchdog_interval_seconds):
+            with self._cond:
+                if self._degraded:
+                    continue
+                thread = self._thread
+                alive = thread is not None and thread.is_alive()
+                busy = bool(self._pending or self._inflight)
+                stale = time.monotonic() - self._heartbeat > policy.stall_timeout_seconds
+                drained_exit = self._closed and not busy
+            if not alive and not drained_exit:
+                self._recover(crashed=True)
+            elif alive and busy and stale:
+                self._recover(crashed=False)
+
+    def _recover(self, crashed: bool) -> None:
+        """Retire the current dispatcher, fail its in-flight work, respawn or degrade."""
+        policy = self._policy
+        pending_to_drain: "OrderedDict[int, _Entry]" = OrderedDict()
+        with self._cond:
+            if self._degraded:
+                return
+            self._generation += 1  # retires the old loop (it exits at its next check)
+            victims: List[Future] = []
+            for entry in self._inflight.values():
+                victims.extend(future for future, _, _ in entry.futures)
+            self._inflight.clear()
+            if crashed:
+                self.stats.dispatcher_crashes += 1
+            else:
+                self.stats.dispatcher_stalls += 1
+            exhausted = self.stats.respawns >= policy.max_respawns
+            if exhausted:
+                self._degraded = True
+                pending_to_drain = self._pending
+                self._pending = OrderedDict()
+            self._cond.notify_all()
+        kind = "stalled" if not crashed else "died"
+        error = DispatcherFailed(f"serving dispatcher {kind}; in-flight request abandoned")
+        for future in victims:
+            self._fail(future, error)
+        if exhausted:
+            logger.warning(
+                "serving dispatcher %s with respawn budget (%d) spent: "
+                "degrading to inline gathers",
+                kind,
+                policy.max_respawns,
+            )
+            self._drain_inline(pending_to_drain)
+            return
+        delay = policy.backoff_for(self.stats.respawns + 1)
+        if delay > 0:
+            time.sleep(delay)
+        with self._cond:
+            self.stats.respawns += 1
+            self._heartbeat = time.monotonic()
+            self._thread = self._spawn_dispatcher()
+        logger.warning(
+            "serving dispatcher %s: respawned (%d/%d respawns used)",
+            kind,
+            self.stats.respawns,
+            policy.max_respawns,
+        )
+
+    def _drain_inline(self, pending: "OrderedDict[int, _Entry]") -> None:
+        """Degraded-mode flush: answer stranded pending entries synchronously."""
+        for row, entry in pending.items():
+            try:
+                block = np.ascontiguousarray(self.fetch([int(row)])[:, 0, :])
+            except Exception as exc:
+                for future, _, _ in entry.futures:
+                    self._fail(future, exc)
+                continue
+            self.stats.inline_gathers += 1
+            done = time.monotonic()
+            with self._cond:
+                for _, enqueued, _ in entry.futures:
+                    self._latencies.append(done - enqueued)
+            for future, _, _ in entry.futures:
+                self._resolve(future, block)
+
+    def _gather_rows(self, rows: np.ndarray, out: np.ndarray) -> None:
+        """Fill ``out`` with the store blocks for ``rows`` (cache-miss path)."""
+        fault_point("serve.gather", num_rows=int(rows.size))
+        depth = self._depth
+        if depth is None or depth.is_trivial() or rows.size == 0:
+            self._attached.gather_into(rows, out)
+            return
+        if depth.num_kernels > 1:
+            # multi-kernel packed layout interleaves kernels, so the leading
+            # matrices are not "the shallow hops" — gather fully, truncate after
+            self._attached.gather_into(rows, out)
+            depth.truncate(out, rows)
+            return
+        # single kernel: matrices are exactly hops 0..R, so a depth-d group
+        # only ever reads the first d+1 matrices of the packed block
+        depths = depth.depths[rows]
+        for d in np.unique(depths):
+            positions = np.flatnonzero(depths == d)
+            count = int(d) + 1
+            if count >= self.num_matrices:
+                partial = np.empty(
+                    (self.num_matrices, positions.size, self.feature_dim), dtype=self.dtype
+                )
+                self._attached.gather_into(rows[positions], partial)
+                out[:, positions, :] = partial
+                continue
+            partial = np.empty((count, positions.size, self.feature_dim), dtype=self.dtype)
+            self._attached.gather_hops_into(rows[positions], partial, count)
+            out[:count, positions, :] = partial
+            # hops beyond the node's depth repeat its deepest gathered hop
+            out[count:, positions, :] = partial[count - 1]
 
     def _assemble(self, unique_rows: np.ndarray) -> np.ndarray:
         """Gather ``(M, U, F)`` for distinct rows through the cache.
@@ -353,38 +713,6 @@ class ServingEngine:
         self.stats.cache = self._cache.stats.snapshot()
         return out
 
-    def _gather_rows(self, rows: np.ndarray, out: np.ndarray) -> None:
-        """Fill ``out`` with the store blocks for ``rows`` (cache-miss path)."""
-        fault_point("serve.gather", num_rows=int(rows.size))
-        depth = self._depth
-        if depth is None or depth.is_trivial() or rows.size == 0:
-            self._attached.gather_into(rows, out)
-            return
-        if depth.num_kernels > 1:
-            # multi-kernel packed layout interleaves kernels, so the leading
-            # matrices are not "the shallow hops" — gather fully, truncate after
-            self._attached.gather_into(rows, out)
-            depth.truncate(out, rows)
-            return
-        # single kernel: matrices are exactly hops 0..R, so a depth-d group
-        # only ever reads the first d+1 matrices of the packed block
-        depths = depth.depths[rows]
-        for d in np.unique(depths):
-            positions = np.flatnonzero(depths == d)
-            count = int(d) + 1
-            if count >= self.num_matrices:
-                partial = np.empty(
-                    (self.num_matrices, positions.size, self.feature_dim), dtype=self.dtype
-                )
-                self._attached.gather_into(rows[positions], partial)
-                out[:, positions, :] = partial
-                continue
-            partial = np.empty((count, positions.size, self.feature_dim), dtype=self.dtype)
-            self._attached.gather_hops_into(rows[positions], partial, count)
-            out[:count, positions, :] = partial
-            # hops beyond the node's depth repeat its deepest gathered hop
-            out[count:, positions, :] = partial[count - 1]
-
     # ------------------------------------------------------------------ #
     # introspection / lifecycle
     # ------------------------------------------------------------------ #
@@ -402,23 +730,120 @@ class ServingEngine:
             self.stats.cache = self._cache.stats.snapshot()
         return self.stats.snapshot()
 
-    def close(self) -> None:
-        """Stop the coalescer, fail stragglers, release the shm segment."""
+    def health(self) -> dict:
+        """Readiness/liveness snapshot for load balancers and operators.
+
+        ``ready`` — the engine accepts new submissions; ``live`` — requests
+        are being answered (by the dispatcher or, degraded, inline).  The
+        ``watchdog`` block reports dispatcher supervision state.
+        """
+        with self._cond:
+            thread = self._thread
+            dispatcher_alive = thread is not None and thread.is_alive()
+            queue_depth = len(self._pending)
+            inflight = len(self._inflight)
+            draining = self._draining
+            closed = self._closed
+            degraded = self._degraded
+            heartbeat_age = time.monotonic() - self._heartbeat
+        stats = self.snapshot()
+        max_pending = self.config.max_pending
+        answering = dispatcher_alive or degraded
+        return {
+            "live": answering and not closed,
+            "ready": answering and not closed and not draining,
+            "degraded": degraded,
+            "draining": draining,
+            "closed": closed,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "max_pending": max_pending,
+            "saturated": max_pending is not None and queue_depth >= max_pending,
+            "shed": stats["shed"],
+            "shed_rate": stats["shed"] / max(stats["requests"], 1),
+            "expired": stats["expired"],
+            "retried": stats["retried"],
+            "watchdog": {
+                "enabled": self._watchdog is not None,
+                "dispatcher_alive": dispatcher_alive,
+                "heartbeat_age_seconds": heartbeat_age,
+                "respawns": stats["respawns"],
+                "respawns_remaining": max(self._policy.max_respawns - stats["respawns"], 0),
+                "crashes": stats["dispatcher_crashes"],
+                "stalls": stats["dispatcher_stalls"],
+            },
+            "cache": stats.get("cache", {}),
+        }
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission, flush or abandon the queue, release the segment.
+
+        ``drain=True`` (default) lets the dispatcher flush every pending
+        request within ``timeout`` (default ``config.drain_timeout_seconds``);
+        requests still unanswered at the deadline fail with
+        :class:`DeadlineExceeded`.  ``drain=False`` fails all pending
+        requests immediately.  Either way every outstanding future resolves —
+        to data or a typed error — before the store detaches.
+        """
+        abandoned: List[_Waiter] = []
         with self._cond:
             if self._closed:
                 return
+            self._draining = True
+            if not drain:
+                # abandon queued AND claimed work: the generation bump below
+                # retires the dispatcher, so an in-flight batch would never be
+                # distributed — its futures must be failed here instead
+                for entry in self._pending.values():
+                    abandoned.extend(entry.futures)
+                for entry in self._inflight.values():
+                    abandoned.extend(entry.futures)
+                self._pending = OrderedDict()
+                self._inflight.clear()
+                self._generation += 1
             self._closed = True
             self._cond.notify_all()
-        self._thread.join()
-        leftovers = []
+        leftovers: List[_Waiter] = []
+        timed_out = False
+        if drain:
+            budget = timeout if timeout is not None else self.config.drain_timeout_seconds
+            deadline = time.monotonic() + budget
+            with self._cond:
+                # the dispatcher (respawned by the watchdog if it dies
+                # mid-drain) flushes the queue; degraded engines have none
+                while self._pending or self._inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        timed_out = True
+                        break
+                    self._cond.wait(timeout=remaining)
+                if timed_out:
+                    for entry in self._pending.values():
+                        leftovers.extend(entry.futures)
+                    for entry in self._inflight.values():
+                        leftovers.extend(entry.futures)
+                    self._pending = OrderedDict()
+                    self._inflight.clear()
         with self._cond:
-            for entry in self._pending.values():
-                leftovers.extend(entry.futures)
-            self._pending.clear()
-            self._inflight.clear()
-        for future, _ in leftovers:
-            if not future.done():
-                future.set_exception(RuntimeError("ServingEngine closed before dispatch"))
+            self._generation += 1  # retire the dispatcher whether or not it drained
+            thread = self._thread
+            self._cond.notify_all()
+        self._watchdog_stop.set()
+        if timed_out:
+            error: Exception = DeadlineExceeded(
+                f"drain deadline ({budget}s) exceeded; {len(leftovers)} request(s) abandoned"
+            )
+        else:
+            error = RuntimeError("ServingEngine closed before dispatch")
+        for future, _, _ in leftovers:
+            self._fail(future, error)
+        for future, _, _ in abandoned:
+            self._fail(future, error)
+        if thread is not None:
+            thread.join(timeout=max(self._policy.stall_timeout_seconds, 5.0))
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5.0)
+        self._draining = False
         self._attached.close()
         self._shared.close()
 

@@ -97,6 +97,31 @@ class TestSession:
         session.close()
         assert closed == ["second", "first"]
 
+    def test_health_aggregates_serving_engines(self, small_dataset):
+        session = Session(small_dataset)
+        session.preprocess(num_hops=2)
+        health = session.health()
+        assert health["ready"] and not health["closed"]  # vacuously ready: no engines
+        assert health["serving"] == []
+        engine = session.serve(ServingConfig(cache_capacity=32))
+        health = session.health()
+        assert health["ready"]
+        assert len(health["serving"]) == 1
+        assert health["serving"][0]["ready"] and health["serving"][0]["live"]
+        assert health["serving"][0]["queue_depth"] == 0
+        assert engine.health()["ready"]
+        session.close()
+        assert session.health() == {"closed": True, "ready": False, "serving": []}
+
+    def test_typed_serving_errors_are_reexported(self):
+        from repro.serving import errors
+
+        assert repro.OverloadError is errors.OverloadError
+        assert repro.DeadlineExceeded is errors.DeadlineExceeded
+        assert repro.DispatcherFailed is errors.DispatcherFailed
+        assert issubclass(repro.OverloadError, repro.ServingError)
+        assert issubclass(repro.ServingError, RuntimeError)
+
     def test_serve_wires_graph_for_adaptive_depth(self, small_dataset):
         with Session(small_dataset) as session:
             session.preprocess(num_hops=2)

@@ -218,10 +218,18 @@ def serving_baseline() -> dict:
         "qps_target": 2000.0,
         "p99_limit_ms": 50.0,
         "cache_speedup_target": 1.2,
+        "overload_p99_limit_ms": 150.0,
         "results": {
             "bit_identical_to_direct": True,
             "cache": {"p50_cold_ms": 0.03, "p50_hit_ms": 0.015, "p50_speedup_vs_cold": 2.0},
             "zipfian": {"qps": 60000.0, "p50_ms": 6.0, "p99_ms": 30.0},
+            "overload": {
+                "accepted_p99_ms": 20.0,
+                "zero_lost": True,
+                "typed_errors_only": True,
+                "kept_serving_after_respawn": True,
+                "bit_identical_sample": True,
+            },
         },
     }
 
@@ -273,6 +281,44 @@ class TestCompareServing:
         del fresh["results"]["zipfian"]["qps"]
         failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
         assert any("missing" in f for f in failures)
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["zero_lost", "typed_errors_only", "kept_serving_after_respawn", "bit_identical_sample"],
+    )
+    def test_broken_overload_invariant_fails(self, serving_baseline, flag):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["overload"][flag] = False
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any(f"overload.{flag}" in f for f in failures)
+
+    def test_missing_overload_row_fails(self, serving_baseline):
+        # a fresh run that silently drops the overload row must not pass
+        fresh = copy.deepcopy(serving_baseline)
+        del fresh["results"]["overload"]
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("overload" in f for f in failures)
+
+    def test_inflated_overload_p99_fails(self, serving_baseline):
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["overload"]["accepted_p99_ms"] = 400.0
+        failures = check_regression.compare_serving(serving_baseline, fresh, 0.2)
+        assert any("overload.accepted_p99_ms" in f for f in failures)
+
+    def test_overload_p99_noise_below_limit_passes(self, serving_baseline):
+        # 100ms is far above the 20ms baseline but within tolerance of the
+        # limit-capped baseline (max(20, 150) * 1.2 = 180)
+        fresh = copy.deepcopy(serving_baseline)
+        fresh["results"]["overload"]["accepted_p99_ms"] = 100.0
+        assert check_regression.compare_serving(serving_baseline, fresh, 0.2) == []
+
+    def test_legacy_baseline_without_overload_row_still_gates(self, serving_baseline):
+        # a committed baseline predating the overload row gates nothing new
+        legacy = copy.deepcopy(serving_baseline)
+        del legacy["results"]["overload"]
+        del legacy["overload_p99_limit_ms"]
+        fresh = copy.deepcopy(serving_baseline)
+        assert check_regression.compare_serving(legacy, fresh, 0.2) == []
 
     def test_cli_kind_serving(self, serving_baseline, tmp_path, capsys):
         base = tmp_path / "base.json"

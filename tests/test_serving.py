@@ -10,7 +10,9 @@ adaptive depth is on) byte for byte.
 from __future__ import annotations
 
 import os
+import signal
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -19,11 +21,16 @@ from repro.hardware.memory import MemoryDevice
 from repro.hardware.spec import DeviceSpec
 from repro.resilience.faultinject import FaultPlan, FaultSpec, InjectedFault
 from repro.resilience.janitor import sweep_orphans
+from repro.resilience.supervisor import SupervisorPolicy
 from repro.serving import (
+    DeadlineExceeded,
+    DispatcherFailed,
     HopCache,
     NodeAdaptiveDepth,
+    OverloadError,
     ServingConfig,
     ServingEngine,
+    ServingError,
 )
 
 
@@ -367,7 +374,8 @@ class TestCoalescing:
 class TestServingFaults:
     def test_gather_error_fails_futures_but_not_engine(self, prepared_store):
         store = prepared_store.store
-        config = ServingConfig(window_seconds=0.001, cache_policy="none")
+        # retries off: a single injected fault must surface to the caller
+        config = ServingConfig(window_seconds=0.001, cache_policy="none", gather_retries=0)
         plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="error", at_hit=1)])
         with ServingEngine(store, config) as eng, plan.active():
             doomed = eng.submit(1)
@@ -428,3 +436,533 @@ class TestServingShm:
         assert sweep_orphans(shm_dir=tmp_path) == [orphan]
         assert not orphan.exists() and live.exists()
         live.unlink()
+
+    def test_sigkilled_holder_is_swept_and_fresh_engine_reattaches(self, prepared_store):
+        """SIGKILL a process holding a ppgnn-serve-* attach: the janitor must
+        sweep its real /dev/shm segment and a fresh engine must come up clean."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        queue = ctx.Queue()
+        store = prepared_store.store
+
+        def hold_an_attach():
+            eng = ServingEngine(store, ServingConfig(watchdog=False))
+            queue.put(eng._shared.handle.shm_name)
+            time.sleep(60)  # SIGKILLed long before this returns
+
+        process = ctx.Process(target=hold_an_attach, daemon=True)
+        process.start()
+        try:
+            name = queue.get(timeout=30)
+            assert name is not None and os.path.exists(f"/dev/shm/{name}")
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=30)
+        finally:
+            if process.is_alive():  # pragma: no cover - cleanup on assert failure
+                process.kill()
+                process.join()
+        swept = sweep_orphans()
+        assert name in [path.name for path in swept]
+        assert not os.path.exists(f"/dev/shm/{name}")
+        # a fresh engine re-attaches and serves bit-identically
+        rows = np.array([0, 5, 9], dtype=np.int64)
+        with ServingEngine(store, ServingConfig()) as eng:
+            assert np.array_equal(eng.fetch(rows), store.gather_packed(rows))
+
+
+# =========================================================================== #
+# admission control + backpressure
+# =========================================================================== #
+def quiet_config(**overrides):
+    """A config whose dispatcher never fires on its own: a huge window and
+    batch size park submissions in the pending queue so admission, deadline
+    and drain behavior can be observed deterministically."""
+    defaults = dict(
+        window_seconds=30.0,
+        micro_batch_size=100_000,
+        cache_policy="none",
+        watchdog=False,
+    )
+    defaults.update(overrides)
+    return ServingConfig(**defaults)
+
+
+class TestAdmissionControl:
+    def test_reject_policy_sheds_with_typed_error(self, prepared_store):
+        config = quiet_config(max_pending=4, shed_policy="reject")
+        with ServingEngine(prepared_store.store, config) as eng:
+            admitted = [eng.submit(row) for row in range(4)]
+            with pytest.raises(OverloadError):
+                eng.submit(4)
+            assert eng.snapshot()["shed"] == 1
+            assert eng.health()["saturated"]
+            eng.close(drain=True, timeout=30)  # flushes the admitted four
+            for row, future in enumerate(admitted):
+                expected = prepared_store.store.gather_packed(np.array([row]))[:, 0, :]
+                assert np.array_equal(future.result(timeout=0), expected)
+
+    def test_coalesced_joins_bypass_admission(self, prepared_store):
+        config = quiet_config(max_pending=1, shed_policy="reject")
+        with ServingEngine(prepared_store.store, config) as eng:
+            first = eng.submit(5)
+            joined = eng.submit(5)  # same id: no new gather work, always admitted
+            assert eng.snapshot()["coalesced_window"] == 1
+            eng.close(drain=True, timeout=30)
+            assert np.array_equal(first.result(timeout=0), joined.result(timeout=0))
+
+    def test_block_policy_times_out_with_typed_error(self, prepared_store):
+        config = quiet_config(
+            max_pending=1, shed_policy="block", admission_timeout_seconds=0.05
+        )
+        with ServingEngine(prepared_store.store, config) as eng:
+            eng.submit(0)
+            start = time.monotonic()
+            with pytest.raises(OverloadError):
+                eng.submit(1)
+            assert time.monotonic() - start >= 0.04
+            assert eng.snapshot()["shed"] == 1
+            eng.close(drain=True, timeout=30)
+
+    def test_block_policy_admits_when_dispatcher_drains(self, prepared_store):
+        # short window: the dispatcher takes row 0 within ~50ms, freeing space
+        config = ServingConfig(
+            window_seconds=0.05,
+            micro_batch_size=1,
+            max_pending=1,
+            shed_policy="block",
+            admission_timeout_seconds=10.0,
+            cache_policy="none",
+        )
+        store = prepared_store.store
+        with ServingEngine(store, config) as eng:
+            futures = [eng.submit(0), eng.submit(1)]  # second blocks, then admits
+            for row, future in zip([0, 1], futures):
+                expected = store.gather_packed(np.array([row]))[:, 0, :]
+                assert np.array_equal(future.result(timeout=10), expected)
+            assert eng.snapshot()["shed"] == 0
+
+    def test_unbounded_queue_never_sheds(self, prepared_store):
+        config = quiet_config(max_pending=None)
+        with ServingEngine(prepared_store.store, config) as eng:
+            futures = [eng.submit(row) for row in range(64)]
+            assert eng.snapshot()["shed"] == 0
+            eng.close(drain=True, timeout=30)
+            assert all(future.done() for future in futures)
+
+
+# =========================================================================== #
+# per-request deadlines
+# =========================================================================== #
+class TestDeadlines:
+    def test_expired_request_fails_typed_before_gather(self, prepared_store):
+        config = ServingConfig(window_seconds=0.15, cache_policy="none", watchdog=False)
+        with ServingEngine(prepared_store.store, config) as eng:
+            doomed = eng.submit(3, deadline_seconds=0.02)  # expires inside the window
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=10)
+            assert eng.snapshot()["expired"] == 1
+            assert eng.snapshot()["batches"] == 0  # nothing was gathered for it
+
+    def test_config_default_deadline_applies(self, prepared_store):
+        config = ServingConfig(
+            window_seconds=0.15,
+            default_deadline_seconds=0.02,
+            cache_policy="none",
+            watchdog=False,
+        )
+        with ServingEngine(prepared_store.store, config) as eng:
+            with pytest.raises(DeadlineExceeded):
+                eng.submit(3).result(timeout=10)
+
+    def test_mixed_deadlines_on_one_entry(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(window_seconds=0.15, cache_policy="none", watchdog=False)
+        with ServingEngine(store, config) as eng:
+            doomed = eng.submit(7, deadline_seconds=0.02)
+            patient = eng.submit(7)  # coalesces onto the same entry, no deadline
+            expected = store.gather_packed(np.array([7]))[:, 0, :]
+            assert np.array_equal(patient.result(timeout=10), expected)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=10)
+
+
+# =========================================================================== #
+# transient-gather retry
+# =========================================================================== #
+class TestGatherRetry:
+    def test_transient_error_is_retried_to_success(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            gather_retries=2,
+            gather_backoff_seconds=0.001,
+            watchdog=False,
+        )
+        plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="error", at_hit=1)])
+        with ServingEngine(store, config) as eng, plan.active():
+            expected = store.gather_packed(np.array([1]))[:, 0, :]
+            assert np.array_equal(eng.submit(1).result(timeout=10), expected)
+            snap = eng.snapshot()
+            assert snap["retried"] == 1
+            assert snap["gather_errors"] == 0
+
+    def test_transient_ioerror_is_retried_to_success(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            gather_backoff_seconds=0.001,
+            watchdog=False,
+        )
+        plan = FaultPlan(specs=[FaultSpec(site="serve.gather", kind="ioerror", at_hit=1)])
+        with ServingEngine(store, config) as eng, plan.active():
+            expected = store.gather_packed(np.array([2]))[:, 0, :]
+            assert np.array_equal(eng.submit(2).result(timeout=10), expected)
+
+    def test_persistent_fault_exhausts_budget_and_fails_futures(self, prepared_store):
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            gather_retries=1,
+            gather_backoff_seconds=0.001,
+            watchdog=False,
+        )
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.gather", kind="error", at_hit=1, repeat=100)]
+        )
+        with ServingEngine(prepared_store.store, config) as eng:
+            with plan.active():
+                doomed = eng.submit(1)
+                with pytest.raises(InjectedFault):
+                    doomed.result(timeout=10)
+            snap = eng.snapshot()
+            assert snap["retried"] == 1
+            assert snap["gather_errors"] == 1
+            # the engine survives: next request (fault plan gone) succeeds
+            expected = prepared_store.store.gather_packed(np.array([1]))[:, 0, :]
+            assert np.array_equal(eng.submit(1).result(timeout=10), expected)
+
+
+# =========================================================================== #
+# dispatcher supervision (watchdog)
+# =========================================================================== #
+def eager_policy(max_respawns=2):
+    return SupervisorPolicy(
+        max_respawns=max_respawns,
+        backoff_seconds=0.0,
+        max_backoff_seconds=0.0,
+        stall_timeout_seconds=5.0,
+        batch_deadline_seconds=1.0,
+    )
+
+
+class TestWatchdog:
+    def test_dispatcher_crash_fails_inflight_and_respawns(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            watchdog_interval_seconds=0.02,
+            supervisor=eager_policy(),
+        )
+        plan = FaultPlan(specs=[FaultSpec(site="serve.dispatch", kind="error", at_hit=1)])
+        with ServingEngine(store, config) as eng:
+            with plan.active():
+                doomed = eng.submit(1)
+                with pytest.raises(DispatcherFailed):
+                    doomed.result(timeout=10)
+            snap = eng.snapshot()
+            assert snap["dispatcher_crashes"] == 1
+            assert snap["respawns"] == 1
+            # the respawned dispatcher keeps serving
+            expected = store.gather_packed(np.array([4]))[:, 0, :]
+            assert np.array_equal(eng.submit(4).result(timeout=10), expected)
+            health = eng.health()
+            assert health["ready"] and not health["degraded"]
+            assert health["watchdog"]["respawns_remaining"] == 1
+
+    def test_stalled_dispatcher_is_detected_and_replaced(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            watchdog_interval_seconds=0.02,
+            supervisor=SupervisorPolicy(
+                max_respawns=2,
+                backoff_seconds=0.0,
+                max_backoff_seconds=0.0,
+                stall_timeout_seconds=0.15,
+                batch_deadline_seconds=0.05,
+            ),
+        )
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.dispatch", kind="stall", at_hit=1, stall_seconds=1.0)]
+        )
+        with ServingEngine(store, config) as eng:
+            with plan.active():
+                doomed = eng.submit(1)
+                with pytest.raises(DispatcherFailed):
+                    doomed.result(timeout=10)
+            assert eng.snapshot()["dispatcher_stalls"] == 1
+            assert eng.snapshot()["respawns"] == 1
+            expected = store.gather_packed(np.array([2]))[:, 0, :]
+            assert np.array_equal(eng.submit(2).result(timeout=10), expected)
+
+    def test_spent_budget_degrades_to_inline_gathers(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            cache_policy="none",
+            watchdog_interval_seconds=0.02,
+            supervisor=eager_policy(max_respawns=0),
+        )
+        plan = FaultPlan(specs=[FaultSpec(site="serve.dispatch", kind="error", at_hit=1)])
+        with ServingEngine(store, config) as eng:
+            with plan.active():
+                doomed = eng.submit(1)
+                with pytest.raises(DispatcherFailed):
+                    doomed.result(timeout=10)
+            # budget of zero: first crash degrades instead of respawning
+            deadline = time.monotonic() + 10
+            while not eng.health()["degraded"] and time.monotonic() < deadline:
+                time.sleep(0.01)
+            health = eng.health()
+            assert health["degraded"] and health["live"] and health["ready"]
+            assert eng.snapshot()["respawns"] == 0
+            # degraded mode answers synchronously, bit-identically
+            expected = store.gather_packed(np.array([6]))[:, 0, :]
+            assert np.array_equal(eng.submit(6).result(timeout=10), expected)
+            assert eng.snapshot()["inline_gathers"] >= 1
+
+    def test_degradation_drains_stranded_pending_inline(self, prepared_store):
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.001,
+            micro_batch_size=1,
+            cache_policy="none",
+            watchdog_interval_seconds=0.02,
+            supervisor=SupervisorPolicy(
+                max_respawns=0,
+                backoff_seconds=0.0,
+                max_backoff_seconds=0.0,
+                stall_timeout_seconds=0.15,
+                batch_deadline_seconds=0.05,
+            ),
+        )
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.dispatch", kind="stall", at_hit=1, stall_seconds=1.0)]
+        )
+        with ServingEngine(store, config) as eng:
+            with plan.active():
+                doomed = eng.submit(1)  # claimed, then the dispatcher stalls on it
+                time.sleep(0.05)
+                stranded = [eng.submit(row) for row in (2, 3)]  # left pending
+                with pytest.raises(DispatcherFailed):
+                    doomed.result(timeout=10)
+                # stranded entries are answered inline at degradation, with data
+                for row, future in zip((2, 3), stranded):
+                    expected = store.gather_packed(np.array([row]))[:, 0, :]
+                    assert np.array_equal(future.result(timeout=10), expected)
+            assert eng.health()["degraded"]
+
+
+# =========================================================================== #
+# graceful drain + close
+# =========================================================================== #
+class TestDrainAndClose:
+    def test_drain_flushes_pending_bit_identically(self, prepared_store):
+        store = prepared_store.store
+        with ServingEngine(store, quiet_config()) as eng:
+            futures = {row: eng.submit(row) for row in range(8)}
+            eng.close(drain=True, timeout=30)
+            for row, future in futures.items():
+                expected = store.gather_packed(np.array([row]))[:, 0, :]
+                assert np.array_equal(future.result(timeout=0), expected)
+
+    def test_close_without_drain_fails_pending_typed(self, prepared_store):
+        with ServingEngine(prepared_store.store, quiet_config()) as eng:
+            future = eng.submit(1)
+            eng.close(drain=False)
+            with pytest.raises(RuntimeError, match="closed before dispatch"):
+                future.result(timeout=0)
+
+    def test_close_without_drain_fails_claimed_inflight_batch(self, prepared_store):
+        # the batch is already claimed (mid-gather) when close lands: its
+        # futures must still resolve typed, not hang unresolved forever
+        config = ServingConfig(window_seconds=0.001, cache_policy="none", watchdog=False)
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.gather", kind="stall", at_hit=1, stall_seconds=0.5)]
+        )
+        with plan.active():
+            eng = ServingEngine(prepared_store.store, config)
+            future = eng.submit(1)
+            time.sleep(0.05)  # let the dispatcher claim it and stall in the gather
+            eng.close(drain=False)
+        assert future.done()
+        with pytest.raises(RuntimeError, match="closed before dispatch"):
+            future.result(timeout=0)
+
+    def test_drain_deadline_fails_stragglers_typed(self, prepared_store):
+        plan = FaultPlan(
+            specs=[FaultSpec(site="serve.drain", kind="stall", at_hit=1, stall_seconds=1.0)]
+        )
+        with ServingEngine(prepared_store.store, quiet_config()) as eng, plan.active():
+            future = eng.submit(1)
+            start = time.monotonic()
+            eng.close(drain=True, timeout=0.1)
+            assert time.monotonic() - start < 5.0  # bounded, despite the stall
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=0)
+
+    def test_submissions_rejected_while_draining_and_after_close(self, prepared_store):
+        eng = ServingEngine(prepared_store.store, ServingConfig())
+        eng.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            eng.submit(0)
+        eng.close()  # idempotent
+
+    def test_dispatcher_killed_mid_drain_still_resolves_every_future(self, prepared_store):
+        config = quiet_config(
+            watchdog=True,
+            watchdog_interval_seconds=0.02,
+            supervisor=eager_policy(),
+        )
+        plan = FaultPlan(specs=[FaultSpec(site="serve.drain", kind="error", at_hit=1)])
+        with ServingEngine(prepared_store.store, config) as eng, plan.active():
+            futures = [eng.submit(row) for row in range(4)]
+            eng.close(drain=True, timeout=30)
+            # no future may be left unresolved: data or a typed serving error
+            for future in futures:
+                assert future.done()
+                exc = future.exception(timeout=0)
+                assert exc is None or isinstance(exc, ServingError)
+
+
+# =========================================================================== #
+# health snapshots
+# =========================================================================== #
+class TestHealth:
+    def test_fresh_engine_is_ready_and_live(self, engine):
+        health = engine.health()
+        assert health["ready"] and health["live"]
+        assert not health["degraded"] and not health["draining"] and not health["closed"]
+        assert health["queue_depth"] == 0 and health["inflight"] == 0
+        assert health["watchdog"]["enabled"] and health["watchdog"]["dispatcher_alive"]
+        assert health["watchdog"]["respawns"] == 0
+        assert health["shed_rate"] == 0.0
+
+    def test_saturation_is_visible(self, prepared_store):
+        with ServingEngine(prepared_store.store, quiet_config(max_pending=2)) as eng:
+            eng.submit(0)
+            eng.submit(1)
+            health = eng.health()
+            assert health["queue_depth"] == 2 and health["saturated"]
+            eng.close(drain=True, timeout=30)
+
+    def test_closed_engine_reports_not_ready(self, prepared_store):
+        eng = ServingEngine(prepared_store.store, ServingConfig())
+        eng.close()
+        health = eng.health()
+        assert health["closed"] and not health["ready"] and not health["live"]
+
+
+# =========================================================================== #
+# query() cleanup (no leaked futures)
+# =========================================================================== #
+class TestQueryCleanup:
+    def test_timeout_abandons_remaining_futures(self, prepared_store):
+        with ServingEngine(prepared_store.store, quiet_config()) as eng:
+            with pytest.raises(TimeoutError):
+                eng.query([1, 2, 3], timeout=0.05)
+            with eng._cond:
+                assert len(eng._pending) == 0  # nothing left enqueued
+            eng.close(drain=True, timeout=30)
+
+    def test_shed_mid_query_abandons_admitted_futures(self, prepared_store):
+        config = quiet_config(max_pending=2, shed_policy="reject")
+        with ServingEngine(prepared_store.store, config) as eng:
+            with pytest.raises(OverloadError):
+                eng.query([0, 1, 2])  # third submit sheds; first two must not leak
+            with eng._cond:
+                assert len(eng._pending) == 0
+            eng.close(drain=True, timeout=30)
+
+
+# =========================================================================== #
+# end-to-end overload + chaos acceptance
+# =========================================================================== #
+class TestOverloadEndToEnd:
+    def test_overload_with_faults_loses_no_request(self, prepared_store):
+        """The PR's acceptance scenario: concurrent offered load over a small
+        admission bound, one transient gather fault and one dispatcher kill —
+        every submission must resolve to data or a typed error, accepted data
+        must be bit-identical to direct gathers, and the engine must still be
+        serving afterwards."""
+        store = prepared_store.store
+        config = ServingConfig(
+            window_seconds=0.002,
+            micro_batch_size=64,
+            max_pending=32,
+            shed_policy="reject",
+            cache_capacity=128,
+            gather_retries=2,
+            gather_backoff_seconds=0.001,
+            watchdog_interval_seconds=0.02,
+            supervisor=eager_policy(max_respawns=3),
+        )
+        # kill the FIRST dispatch: heavy coalescing can drain the whole
+        # workload in very few cycles, so any later at_hit may never fire
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(site="serve.gather", kind="error", at_hit=3),
+                FaultSpec(site="serve.dispatch", kind="error", at_hit=1),
+            ]
+        )
+        num_threads, per_thread = 4, 200
+        outcomes = {"shed": 0, "data": 0, "typed": 0}
+        lock = threading.Lock()
+        collected = []
+
+        def client(tid):
+            rows = zipfian_rows(store.num_rows, per_thread, seed=tid)
+            local = []
+            shed = 0
+            for row in rows:
+                try:
+                    local.append((int(row), eng.submit(int(row))))
+                except OverloadError:
+                    shed += 1
+            with lock:
+                outcomes["shed"] += shed
+                collected.extend(local)
+
+        with ServingEngine(store, config) as eng, plan.active():
+            threads = [
+                threading.Thread(target=client, args=(tid,)) for tid in range(num_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive(), "client thread hung"
+            for row, future in collected:
+                try:
+                    block = future.result(timeout=30)  # no hang: bounded waits
+                except (ServingError, InjectedFault):
+                    outcomes["typed"] += 1
+                    continue
+                expected = store.gather_packed(np.array([row]))[:, 0, :]
+                assert np.array_equal(block, expected)
+                outcomes["data"] += 1
+            # every offered request is accounted for — none silently lost
+            total = outcomes["shed"] + outcomes["data"] + outcomes["typed"]
+            assert total == num_threads * per_thread
+            assert outcomes["data"] > 0
+            snap = eng.snapshot()
+            assert snap["respawns"] >= 1  # the dispatcher kill was recovered
+            assert snap["shed"] == outcomes["shed"]
+            # and the engine keeps serving after the chaos
+            expected = store.gather_packed(np.array([0]))[:, 0, :]
+            assert np.array_equal(eng.submit(0).result(timeout=10), expected)
