@@ -11,7 +11,10 @@ selected with ``--kind``:
 * ``preprocessing`` — the preprocessing benchmark
   (``BENCH_preprocessing.json``): the blocked engine's peak-memory reduction
   over the in-core path dropping more than ``--tolerance`` below baseline,
-  or its wall-time ratio inflating more than ``--tolerance`` above baseline.
+  its wall-time ratio inflating more than ``--tolerance`` above baseline,
+  the incremental-update speedup over full re-propagation regressing below
+  baseline, or incremental updates no longer being bit-identical to a
+  from-scratch rebuild.
 * ``serving`` — the serving-throughput benchmark (``BENCH_serving.json``):
   coalesced answers no longer bit-identical to direct gathers, Zipfian QPS
   regressing below baseline, p99 latency inflating above baseline, the
@@ -60,6 +63,7 @@ GATES = (
 PREPROCESSING_GATES = (
     ("blocked", "mem_reduction_vs_in_core", "mem_reduction_target", "min"),
     ("blocked", "wall_ratio_vs_in_core", "wall_ratio_limit", "max"),
+    ("delta_update", "speedup_vs_full", "delta_speedup_target", "min"),
 )
 
 #: serving gates, same (row, metric, target key, direction) shape
@@ -154,8 +158,19 @@ def compare(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
 
 
 def compare_preprocessing(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
-    """Preprocessing gate: memory reduction must hold, wall ratio must not inflate."""
-    return _directional_failures(PREPROCESSING_GATES, baseline, fresh, tolerance)
+    """Preprocessing gate: memory reduction must hold, wall ratio must not
+    inflate, incremental updates must stay fast and bit-identical."""
+    failures = _directional_failures(PREPROCESSING_GATES, baseline, fresh, tolerance)
+    base_delta = baseline.get("results", {}).get("delta_update", {})
+    fresh_delta = fresh.get("results", {}).get("delta_update", {})
+    if base_delta.get("bit_identical_to_full") and not fresh_delta.get(
+        "bit_identical_to_full"
+    ):
+        failures.append(
+            "delta_update.bit_identical_to_full: incremental updates no longer "
+            "match a from-scratch re-propagation byte for byte"
+        )
+    return failures
 
 
 def compare_serving(baseline: dict, fresh: dict, tolerance: float) -> list[str]:

@@ -31,13 +31,12 @@ the standard way to recover the intrinsic cost.
 Results are written to ``BENCH_loaders.json`` at the repo root.
 """
 
-import json
 import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
-from conftest import run_once
+from conftest import merge_report, run_once
 
 from repro.dataloading import MultiProcessLoader, PrefetchLoader, build_loader
 from repro.datasets.registry import load_dataset
@@ -249,7 +248,7 @@ def _run_suite() -> dict:
 
 def test_loader_throughput(benchmark):
     report = run_once(benchmark, _run_suite)
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    merge_report(OUTPUT_PATH, report)
     for strategy in ("fused", "chunk"):
         entry = report["results"][strategy]
         assert entry["bit_identical_to_seed"]

@@ -33,14 +33,13 @@ Methodology mirrors the loader benchmark: warm-up first, min/best over
 containers are noisy.  Results go to ``BENCH_serving.json`` at the repo root.
 """
 
-import json
 import tempfile
 import threading
 import time
 from pathlib import Path
 
 import numpy as np
-from conftest import run_once
+from conftest import merge_report, run_once
 
 from repro.datasets.registry import load_dataset
 from repro.prepropagation.pipeline import PreprocessingPipeline
@@ -396,7 +395,7 @@ def _run_suite() -> dict:
 
 def test_serving_throughput(benchmark):
     report = run_once(benchmark, _run_suite)
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    merge_report(OUTPUT_PATH, report)
     results = report["results"]
     assert results["bit_identical_to_direct"]
     speedup = results["cache"]["p50_speedup_vs_cold"]

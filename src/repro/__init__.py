@@ -16,11 +16,14 @@ __version__ = "0.1.0"
 from repro.api import (  # noqa: E402
     DeadlineExceeded,
     DispatcherFailed,
+    GraphDelta,
     LoaderConfig,
     OverloadError,
     ServingConfig,
     ServingError,
     Session,
+    UpdateInProgress,
+    UpdateResult,
     open_dataset,
 )
 
@@ -28,10 +31,13 @@ __all__ = [
     "__version__",
     "DeadlineExceeded",
     "DispatcherFailed",
+    "GraphDelta",
     "LoaderConfig",
     "OverloadError",
     "ServingConfig",
     "ServingError",
     "Session",
+    "UpdateInProgress",
+    "UpdateResult",
     "open_dataset",
 ]

@@ -26,6 +26,7 @@ deprecation shim over :func:`repro.dataloading.loaders.build_loader`.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,15 +48,26 @@ from repro.serving import (
     ServingError,
 )
 from repro.training import PPGNNTrainer, TrainerConfig
+from repro.updates import (
+    BASE_VERSION,
+    GraphDelta,
+    UpdateInProgress,
+    UpdateResult,
+    apply_memory_update,
+    apply_update,
+)
 
 __all__ = [
     "DeadlineExceeded",
     "DispatcherFailed",
+    "GraphDelta",
     "LoaderConfig",
     "OverloadError",
     "ServingConfig",
     "ServingError",
     "Session",
+    "UpdateInProgress",
+    "UpdateResult",
     "open_dataset",
     "build_loader",
 ]
@@ -168,6 +180,11 @@ class Session:
         self._store: Optional[FeatureStore] = None
         self._resources: List[object] = []
         self._closed = False
+        self._prop_config: Optional[PropagationConfig] = None
+        self._store_version: str = BASE_VERSION
+        self._update_lock = threading.Lock()
+        self._memory_updates = 0
+        self._last_update: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     def preprocess(
@@ -187,6 +204,8 @@ class Session:
         )
         result = pipeline.run(self.dataset)
         self._store = result.store
+        self._prop_config = config
+        self._store_version = BASE_VERSION
         return result
 
     @property
@@ -265,22 +284,125 @@ class Session:
             graph=self.dataset.graph,
             model=model,
             host=host,
+            store_version=self._store_version,
         )
         self._resources.append(engine)
         return engine
+
+    # ------------------------------------------------------------------ #
+    def apply_updates(
+        self,
+        delta: GraphDelta,
+        *,
+        config: Optional[PropagationConfig] = None,
+        verify_samples: int = 8,
+        resume: bool = True,
+        fault_plan=None,
+    ) -> UpdateResult:
+        """Apply one timestamped edge/feature delta with zero serving downtime.
+
+        File-backed sessions (constructed with a ``root``) run the crash-safe
+        journaled path — the delta is re-propagated over only the affected
+        frontier, verified, and published as a new store version
+        (:func:`repro.updates.apply_update`); in-memory sessions use the
+        non-durable variant.  Either way the session's graph, features and
+        store are rebound to the updated snapshot, and every serving engine
+        the session started is swapped onto the new version atomically —
+        requests in flight finish against their pinned version, and only the
+        cache rows the update patched are invalidated.
+
+        An engine whose swap fails keeps serving the previous version
+        bit-identically; the failure is recorded in ``result.engine_errors``
+        and that engine's ``health()``.  Concurrent calls raise
+        :class:`~repro.updates.errors.UpdateInProgress`.
+        """
+        if self._closed:
+            raise RuntimeError("cannot apply updates to a closed Session")
+        if not self._update_lock.acquire(blocking=False):
+            raise UpdateInProgress("another update is already in flight for this session")
+        try:
+            store = self.store  # lazily preprocesses on first use
+            if config is None:
+                config = self._prop_config
+            if config is None:
+                config = PropagationConfig(num_hops=store.num_hops)
+            try:
+                if self.root is not None and store.is_file_backed:
+                    result = apply_update(
+                        self.root,
+                        self.dataset.graph,
+                        self.dataset.features,
+                        delta,
+                        config,
+                        resume=resume,
+                        verify_samples=verify_samples,
+                        fault_plan=fault_plan,
+                    )
+                else:
+                    result = apply_memory_update(
+                        store,
+                        self.dataset.graph,
+                        self.dataset.features,
+                        delta,
+                        config,
+                        version=f"mem{self._memory_updates + 1}",
+                    )
+            except BaseException as exc:
+                self._last_update = {
+                    "status": "failed",
+                    "version": None,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+                raise
+            # the session always tracks the updated snapshot — even a store
+            # noop changed the graph/features the next update builds on
+            self.dataset.graph = result.new_graph
+            self.dataset.features = result.new_features
+            if result.status == "applied":
+                self._store = result.store
+                self._store_version = result.version
+                if result.version.startswith("mem"):
+                    self._memory_updates += 1
+                for engine in [r for r in self._resources if isinstance(r, ServingEngine)]:
+                    engine.begin_update(result.version)
+                    try:
+                        engine.adopt_store(
+                            result.store,
+                            version=result.version,
+                            invalidate_rows=result.patch_rows,
+                        )
+                    except Exception as exc:  # engine keeps serving the old version
+                        result.engine_errors.append(f"{type(exc).__name__}: {exc}")
+            self._last_update = {
+                "status": result.status,
+                "version": result.version,
+                "error": "; ".join(result.engine_errors) or None,
+            }
+            return result
+        finally:
+            self._update_lock.release()
 
     def health(self) -> dict:
         """Aggregate readiness snapshot across the session's serving engines.
 
         ``ready`` is true when the session is open and every serving engine
         it started reports ready (vacuously true with no engines) — the shape
-        a load-balancer health endpoint would poll.
+        a load-balancer health endpoint would poll.  ``store_version`` and
+        ``update`` surface the active store version and the outcome of the
+        most recent :meth:`apply_updates` call.
         """
         engines = [r for r in self._resources if isinstance(r, ServingEngine)]
         serving = [engine.health() for engine in engines]
         return {
             "closed": self._closed,
             "ready": not self._closed and all(s["ready"] for s in serving),
+            "store_version": self._store_version,
+            "update": {
+                "in_progress": self._update_lock.locked(),
+                "status": self._last_update["status"] if self._last_update else "idle",
+                "version": self._last_update["version"] if self._last_update else None,
+                "error": self._last_update["error"] if self._last_update else None,
+            },
             "serving": serving,
         }
 

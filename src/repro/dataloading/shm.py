@@ -70,8 +70,15 @@ __all__ = [
 SHM_PREFIX = "ppgnn"
 
 
-def _new_segment_name(kind: str) -> str:
-    return f"{SHM_PREFIX}-{kind}-{os.getpid()}-{secrets.token_hex(4)}"
+def _new_segment_name(kind: str, version: Optional[int] = None) -> str:
+    """Segment name ``ppgnn-<kind>[-v<version>]-<pid>-<hex>``.
+
+    ``version`` tags segments created for a specific store version during an
+    incremental update swap, so the janitor can attribute (and sweep) segments
+    a mid-swap SIGKILL orphaned.
+    """
+    tag = f"{kind}-v{int(version)}" if version is not None else kind
+    return f"{SHM_PREFIX}-{tag}-{os.getpid()}-{secrets.token_hex(4)}"
 
 
 #: POSIX shared memory surfaces as plain files here on Linux
@@ -195,7 +202,9 @@ class SharedPackedStore:
     the serving engine passes ``"serve"``.
     """
 
-    def __init__(self, store: FeatureStore, kind: str = "store") -> None:
+    def __init__(
+        self, store: FeatureStore, kind: str = "store", version: Optional[int] = None
+    ) -> None:
         self._segment: Optional[shared_memory.SharedMemory] = None
         shape = (store.num_matrices, store.num_rows, store.feature_dim)
         dtype = np.dtype(store.dtype)
@@ -216,7 +225,7 @@ class SharedPackedStore:
         else:
             packed = store.packed_matrix()
             self._segment = shared_memory.SharedMemory(
-                create=True, size=packed.nbytes, name=_new_segment_name(kind)
+                create=True, size=packed.nbytes, name=_new_segment_name(kind, version)
             )
             shared = np.ndarray(shape, dtype=dtype, buffer=self._segment.buf)
             np.copyto(shared, packed)

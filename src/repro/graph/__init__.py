@@ -11,10 +11,14 @@ from repro.graph.builders import (
     to_networkx,
 )
 from repro.graph.operators import (
+    PartialOperator,
+    csr_rows,
     heat_kernel_operator,
     iter_operator_row_blocks,
     normalized_adjacency,
+    operator_radius,
     operator_row_block,
+    operator_support,
     personalized_pagerank_operator,
     random_walk_operator,
     OPERATOR_REGISTRY,
@@ -42,8 +46,12 @@ __all__ = [
     "personalized_pagerank_operator",
     "heat_kernel_operator",
     "OPERATOR_REGISTRY",
+    "PartialOperator",
     "build_operator",
+    "csr_rows",
+    "operator_radius",
     "operator_row_block",
+    "operator_support",
     "iter_operator_row_blocks",
     "stochastic_block_model",
     "powerlaw_cluster_graph",

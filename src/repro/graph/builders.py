@@ -88,10 +88,25 @@ def symmetrize(graph: CSRGraph) -> CSRGraph:
 
 
 def add_self_loops(graph: CSRGraph, weight: float = 1.0) -> CSRGraph:
-    """Return ``A + weight * I`` (used before symmetric normalization)."""
-    adj = graph.to_scipy().tolil()
-    adj.setdiag(np.maximum(adj.diagonal(), weight))
-    return CSRGraph.from_scipy(adj.tocsr(), name=graph.name)
+    """Return the graph with a full diagonal of ``max(old_diag, weight)``.
+
+    Every node ends up with a self-loop; an existing self-loop keeps its
+    weight when it is already >= ``weight``.  Structure comes from one
+    C-speed CSR merge (``A + I``, linear — no COO re-sort, which is
+    O(E log E) and dominated operator construction on large graphs); the
+    diagonal values are then overwritten with ``np.maximum`` of the old
+    diagonal (no float addition), so the result is bitwise identical to the
+    old lil ``setdiag`` path.
+    """
+    n = graph.num_nodes
+    adj = graph.to_scipy().tocsr()
+    adj.sort_indices()
+    new_diag = np.maximum(adj.diagonal(), float(weight))
+    merged = (adj + sp.eye(n, format="csr")).tocsr()
+    merged.sort_indices()
+    row_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(merged.indptr))
+    merged.data[row_of == merged.indices] = new_diag
+    return CSRGraph.from_scipy(merged, name=graph.name)
 
 
 def remove_self_loops(graph: CSRGraph) -> CSRGraph:

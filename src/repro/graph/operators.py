@@ -9,7 +9,7 @@ them are implemented here as sparse matrices.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -146,6 +146,133 @@ def iter_operator_row_blocks(
     for start in range(0, num_rows, block_size):
         stop = min(start + block_size, num_rows)
         yield start, stop, operator_row_block(operator, start, stop)
+
+
+def csr_rows(matrix: sp.csr_matrix, rows: np.ndarray) -> sp.csr_matrix:
+    """Scattered rows of a CSR matrix as a ``(len(rows), num_cols)`` block.
+
+    The generalization of :func:`operator_row_block` to non-contiguous row
+    sets: data and indices are gathered per source row in storage order, so a
+    SpMM against the result runs the exact per-row multiply-accumulate
+    sequence of those rows of the full product (bit-identical).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and (rows.min() < 0 or rows.max() >= matrix.shape[0]):
+        raise ValueError(f"row indices out of range [0, {matrix.shape[0]})")
+    starts = matrix.indptr[rows]
+    counts = matrix.indptr[rows + 1] - starts
+    indptr = np.zeros(rows.size + 1, dtype=matrix.indptr.dtype)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    if total:
+        # flat source positions: for row j, starts[j] + [0, counts[j])
+        offsets = np.repeat(starts - indptr[:-1], counts)
+        flat = np.arange(total, dtype=np.int64) + offsets
+        data, indices = matrix.data[flat], matrix.indices[flat]
+    else:
+        data = matrix.data[:0]
+        indices = matrix.indices[:0]
+    return sp.csr_matrix(
+        (data, indices, indptr), shape=(rows.size, matrix.shape[1]), copy=False
+    )
+
+
+def operator_radius(name: str, **kwargs) -> int:
+    """Hops of graph reachability one application of an operator spans.
+
+    The structural half of :func:`operator_support` without building the
+    support graph: 1 for the paper's 1-hop kernels, ``num_iterations`` for
+    the truncated diffusion operators.
+    """
+    key = name.lower()
+    if key not in OPERATOR_REGISTRY:
+        raise KeyError(f"unknown operator {name!r}; available: {sorted(OPERATOR_REGISTRY)}")
+    if key in ("normalized_adjacency", "sym_norm_adj", "random_walk"):
+        return 1
+    return int(kwargs.get("num_iterations", 10))
+
+
+def operator_support(name: str, graph: CSRGraph, **kwargs) -> tuple[CSRGraph, int]:
+    """The 1-application support of a registered operator.
+
+    Returns ``(support_graph, radius)``: ``B[v, u] != 0`` implies ``u`` is
+    reachable from ``v`` within ``radius`` hops of ``support_graph`` — the
+    structural fact incremental updates use to bound how far a change
+    propagates per operator application.
+    """
+    key = name.lower()
+    if key not in OPERATOR_REGISTRY:
+        raise KeyError(f"unknown operator {name!r}; available: {sorted(OPERATOR_REGISTRY)}")
+    if key in ("normalized_adjacency", "sym_norm_adj"):
+        support = symmetrize(graph) if kwargs.get("make_undirected", True) else graph
+        if kwargs.get("add_self_loop", True):
+            support = add_self_loops(support)
+        return support, 1
+    if key == "random_walk":
+        support = add_self_loops(graph) if kwargs.get("add_self_loop", True) else graph
+        return support, 1
+    # diffusion operators: num_iterations applications of the normalized
+    # adjacency (which symmetrizes and adds self-loops internally)
+    radius = int(kwargs.get("num_iterations", 10))
+    return add_self_loops(symmetrize(graph)), radius
+
+
+class PartialOperator:
+    """Bit-identical row slices of a registered operator, built lazily.
+
+    For the paper's 1-hop kernels (normalized adjacency, random walk) the
+    requested rows are built by replaying the full construction on a
+    row-sliced adjacency — the same scipy diagonal-product kernels over the
+    same per-row inputs, so values *and* the (scipy-version-dependent)
+    within-row storage order come out byte-identical to
+    ``csr_rows(build_operator(...), rows)``.  Setup is O(E) for the support
+    graph and degrees; an extraction is O(nnz(rows)), never the full
+    ``(N, N)`` operator.  Diffusion operators (PPR/heat) have no closed row
+    form and fall back to building the full operator once.
+    """
+
+    def __init__(self, name: str, graph: CSRGraph, **kwargs) -> None:
+        self.name = name.lower()
+        if self.name not in OPERATOR_REGISTRY:
+            raise KeyError(f"unknown operator {name!r}; available: {sorted(OPERATOR_REGISTRY)}")
+        self._full: Optional[sp.csr_matrix] = None
+        self._adj: Optional[sp.csr_matrix] = None
+        self._left: Optional[np.ndarray] = None
+        self._right: Optional[np.ndarray] = None
+        if self.name in ("normalized_adjacency", "sym_norm_adj"):
+            support, _ = operator_support(self.name, graph, **kwargs)
+            self._adj = support.to_scipy()
+            inv_sqrt = _degree_inv_sqrt(self._adj)
+            self._left = inv_sqrt
+            self._right = sp.diags(inv_sqrt)
+        elif self.name == "random_walk":
+            support, _ = operator_support(self.name, graph, **kwargs)
+            self._adj = support.to_scipy()
+            degree = np.asarray(self._adj.sum(axis=1)).ravel()
+            with np.errstate(divide="ignore"):
+                inv = 1.0 / degree
+            inv[~np.isfinite(inv)] = 0.0
+            self._left = inv
+            self._right = None
+        else:
+            self._full = build_operator(self.name, graph, **kwargs)
+
+    @property
+    def support_matrix(self) -> sp.csr_matrix:
+        """CSR whose sparsity pattern is the operator's (row -> touched columns)."""
+        return self._adj if self._adj is not None else self._full
+
+    def rows(self, rows: np.ndarray) -> sp.csr_matrix:
+        """The requested operator rows as a ``(len(rows), N)`` CSR block."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if self._full is not None:
+            return csr_rows(self._full, rows)
+        # replay the full build on the row slice: same left-associated
+        # diagonal products, same kernels, hence the same bytes per row
+        block = sp.diags(self._left[rows]) @ csr_rows(self._adj, rows)
+        if self._right is not None:
+            block = block @ self._right
+        return block.tocsr()
 
 
 OperatorFn = Callable[..., sp.csr_matrix]

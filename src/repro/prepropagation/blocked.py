@@ -88,7 +88,7 @@ from repro.utils.timer import Timer
 
 logger = get_logger("prepropagation.blocked")
 
-__all__ = ["propagate_blocked"]
+__all__ = ["open_store_arrays", "propagate_blocked", "write_row_runs"]
 
 #: how often blocked queue operations re-check the shutdown flag (seconds)
 _POLL_SECONDS = 0.05
@@ -378,6 +378,49 @@ class _WorkerPool:
         for q in (*self._task_queues, self._result_queue):
             q.cancel_join_thread()
             q.close()
+
+
+# --------------------------------------------------------------------------- #
+def open_store_arrays(root: Path) -> Tuple[List[np.ndarray], List[np.memmap]]:
+    """Open an on-disk store's hop matrices writable, for in-place row patching.
+
+    Returns ``(matrices, memmaps)``: ``matrices`` is the flat kernel-major
+    list of ``(num_rows, feature_dim)`` destination arrays (index
+    ``kernel * (num_hops + 1) + hop``, exactly the sink layout of
+    :func:`propagate_blocked`), ``memmaps`` the underlying file handles to
+    ``flush()`` once the patch is written.  Only incremental updates write
+    through this — and only into *staged* store copies no reader can see.
+    """
+    root = Path(root)
+    meta = json.loads((root / "meta.json").read_text())
+    num_matrices = int(meta["num_kernels"]) * (int(meta["num_hops"]) + 1)
+    if meta["layout"] == "packed":
+        packed = np.load(root / "packed.npy", mmap_mode="r+")
+        return [packed[m] for m in range(num_matrices)], [packed]
+    matrices: List[np.ndarray] = []
+    for m in range(num_matrices):
+        matrices.append(np.load(root / f"hop_{m:02d}.npy", mmap_mode="r+"))
+    return matrices, list(matrices)
+
+
+def write_row_runs(dest: np.ndarray, rows: np.ndarray, values: np.ndarray) -> None:
+    """Write ``values`` into ``dest[rows]`` as contiguous-run slice assignments.
+
+    ``rows`` must be sorted and unique.  Scattered fancy-index stores on a
+    memmap fault pages one row at a time; decomposing into maximal contiguous
+    runs turns the patch into the same bulk slice writes the blocked engine
+    uses (``dest[lo:hi] = block``), which is what row-range patching wants.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return
+    if rows.shape[0] != values.shape[0]:
+        raise ValueError("rows and values must align")
+    boundaries = np.flatnonzero(np.diff(rows) != 1) + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [rows.size]])
+    for lo, hi in zip(starts, stops):
+        dest[rows[lo] : rows[lo] + (hi - lo)] = values[lo:hi]
 
 
 # --------------------------------------------------------------------------- #

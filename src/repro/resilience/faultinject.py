@@ -60,6 +60,8 @@ __all__ = [
     "activate_plan",
     "active_plan",
     "FAULT_KINDS",
+    "KNOWN_SITES",
+    "UPDATE_SITES",
 ]
 
 #: the fault kinds :func:`fault_point` knows how to apply
@@ -78,7 +80,13 @@ KNOWN_SITES = (
     "serve.cache",               # serving engine, per-row cache lookup ("leak" = bypass)
     "serve.dispatch",            # dispatcher loop, after claiming a micro-batch
     "serve.drain",               # dispatcher loop, on a batch claimed during close(drain=True)
+    "update.apply",              # incremental update, before a store clone / patch write
+    "update.swap",               # incremental update, before publishing / engine swap
+    "update.journal",            # incremental update, before a journal append
 )
+
+#: the incremental-update subset of :data:`KNOWN_SITES` (chaos suites target these)
+UPDATE_SITES = ("update.apply", "update.swap", "update.journal")
 
 
 class InjectedFault(RuntimeError):

@@ -160,6 +160,25 @@ class HopCache:
                 self._node_of[slot] = -1
                 return slot
 
+    def invalidate(self, rows) -> int:
+        """Drop the entries for ``rows`` (store row indices); return drop count.
+
+        Used on store-version swaps: only the rows an update patched change
+        bytes, so the rest of the cache stays hot across the swap.  Unknown
+        rows are ignored; statistics are preserved (unlike :meth:`clear`).
+        """
+        dropped = 0
+        for row in np.asarray(rows, dtype=np.int64).ravel():
+            slot = self._slot_of.pop(int(row), None)
+            if slot is None:
+                continue
+            self._node_of[slot] = -1
+            self._referenced[slot] = False
+            self._order.pop(int(row), None)
+            self._free.append(slot)
+            dropped += 1
+        return dropped
+
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         self._slot_of.clear()

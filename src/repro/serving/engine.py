@@ -41,6 +41,13 @@ On top of the fast path sits the **overload/resilience layer**:
 * :meth:`health` reports readiness/liveness, and :meth:`close` supports a
   graceful drain: admission stops, the queue flushes under a drain deadline,
   stragglers fail typed — **no submitted future is ever silently dropped**.
+
+For zero-downtime incremental updates (:mod:`repro.updates`), the engine pins
+every dispatch batch to one store version: :meth:`adopt_store` attaches the
+new version's segment off-lock, then swaps it in under the gather lock and
+invalidates only the cache rows the update patched.  If the swap fails, the
+engine keeps serving the old version bit-identically ("stale, never torn")
+and reports it via :meth:`health`.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ from repro.serving.cache import HopCache
 from repro.serving.config import ServingConfig
 from repro.serving.depth import NodeAdaptiveDepth
 from repro.serving.errors import DeadlineExceeded, DispatcherFailed, OverloadError
+from repro.updates.errors import UpdateSwapError
 from repro.utils.logging import get_logger
 
 logger = get_logger("serving.engine")
@@ -147,6 +155,10 @@ class ServingEngine:
     host:
         Optional :class:`~repro.hardware.memory.MemoryDevice` whose headroom
         sizes the cache when the config gives no explicit budget.
+    store_version:
+        Name of the store version being served (``"base"`` or ``"vNNNN"``
+        from a :class:`~repro.updates.versions.VersionedStore`).  Purely
+        informational until :meth:`adopt_store` swaps a newer version in.
     """
 
     def __init__(
@@ -157,6 +169,7 @@ class ServingEngine:
         graph=None,
         model=None,
         host=None,
+        store_version: str = "base",
     ) -> None:
         self.store = store
         self.config = config if config is not None else ServingConfig()
@@ -165,6 +178,15 @@ class ServingEngine:
         self.num_matrices = store.num_matrices
         self.feature_dim = store.feature_dim
         self.dtype = np.dtype(store.dtype)
+
+        #: the store version every answer is currently pinned to
+        self.store_version = str(store_version)
+        #: monotonically increasing attach epoch (tags swap shm segments)
+        self._attach_epoch = 0
+        #: version name of an announced in-flight update, if any
+        self._update_pending: Optional[str] = None
+        #: outcome of the most recent update affecting this engine
+        self._last_update: Optional[dict] = None
 
         self._shared = SharedPackedStore(store, kind="serve")
         self._attached = attach_store(self._shared.handle)
@@ -714,6 +736,129 @@ class ServingEngine:
         return out
 
     # ------------------------------------------------------------------ #
+    # zero-downtime store version swap (epoch protection)
+    # ------------------------------------------------------------------ #
+    def begin_update(self, version: str) -> None:
+        """Announce an in-flight update targeting ``version``.
+
+        Serving continues unchanged, pinned to the current version; the
+        pending update is surfaced in :meth:`health` so operators can see a
+        swap is coming (and, if it fails, why answers are stale).
+        """
+        with self._cond:
+            self._update_pending = str(version)
+            self._last_update = {
+                "status": "in_progress",
+                "version": str(version),
+                "error": None,
+                "serving_stale": False,
+            }
+
+    def abort_update(self, error: BaseException) -> None:
+        """Record that the announced update failed before reaching this engine.
+
+        The engine keeps answering from its pinned version — stale relative
+        to the intent, but never torn — and :meth:`health` reports the typed
+        failure until a later update succeeds.
+        """
+        with self._cond:
+            version = self._update_pending
+            self._update_pending = None
+            self._last_update = {
+                "status": "failed",
+                "version": version,
+                "error": f"{type(error).__name__}: {error}",
+                "serving_stale": True,
+            }
+
+    def adopt_store(
+        self,
+        store: FeatureStore,
+        *,
+        version: str,
+        invalidate_rows: Optional[np.ndarray] = None,
+    ) -> None:
+        """Atomically swap serving onto a new store version.
+
+        The new segment is published and attached *before* any lock is taken;
+        the swap itself happens under the gather lock, so every dispatch
+        batch reads entirely from one version — a batch is pinned to the
+        epoch it started under and no reader ever sees a torn row.
+
+        ``invalidate_rows`` (the update's patched rows) drops only the cache
+        entries whose bytes changed; ``None`` clears the whole cache.  On any
+        swap failure the engine keeps serving the old version bit-identically
+        and raises :class:`~repro.updates.errors.UpdateSwapError`; the stale
+        state is surfaced via :meth:`health`.
+        """
+        version = str(version)
+        problem: Optional[str] = None
+        if (
+            store.num_rows != self.num_rows
+            or store.num_matrices != self.num_matrices
+            or store.feature_dim != self.feature_dim
+            or np.dtype(store.dtype) != self.dtype
+        ):
+            problem = (
+                f"store {version!r} shape/dtype mismatch: "
+                f"({store.num_matrices}, {store.num_rows}, {store.feature_dim}) "
+                f"{np.dtype(store.dtype)} vs served "
+                f"({self.num_matrices}, {self.num_rows}, {self.feature_dim}) {self.dtype}"
+            )
+        elif not np.array_equal(store.node_ids, self.store.node_ids):
+            problem = f"store {version!r} covers different node ids than the served store"
+        if problem is not None:
+            error = UpdateSwapError(problem)
+            self.abort_update(error)
+            raise error
+        # publish + attach the new epoch's segment outside every lock: the
+        # expensive part of the swap never blocks in-flight gathers
+        epoch = self._attach_epoch + 1
+        new_shared = SharedPackedStore(store, kind="serve", version=epoch)
+        try:
+            new_attached = attach_store(new_shared.handle)
+        except BaseException:
+            new_shared.close()
+            raise
+        try:
+            fault_point("update.swap", stage="engine", version=version)
+        except BaseException as exc:
+            new_attached.close()
+            new_shared.close()
+            self.abort_update(exc)
+            raise UpdateSwapError(
+                f"swap to store version {version!r} failed; serving stays pinned "
+                f"to {self.store_version!r}"
+            ) from exc
+        with self._gather_lock:
+            old_attached = self._attached
+            old_shared = self._shared
+            self._attached = new_attached
+            self._shared = new_shared
+            self.store = store
+            self._attach_epoch = epoch
+            if self._cache is not None:
+                if invalidate_rows is None:
+                    self._cache.clear()
+                else:
+                    self._cache.invalidate(invalidate_rows)
+        with self._cond:
+            previous = self.store_version
+            self.store_version = version
+            self._update_pending = None
+            self._last_update = {
+                "status": "applied",
+                "version": version,
+                "error": None,
+                "serving_stale": False,
+            }
+        # detach the retired epoch last: cache slabs and gather outputs are
+        # copies, so nothing still references the old segment's memory
+        old_attached.close()
+        old_shared.close()
+        logger.info("serving swapped store version %s -> %s", previous, version)
+
+    # ------------------------------------------------------------------ #
     # introspection / lifecycle
     # ------------------------------------------------------------------ #
     @property
@@ -746,6 +891,9 @@ class ServingEngine:
             closed = self._closed
             degraded = self._degraded
             heartbeat_age = time.monotonic() - self._heartbeat
+            store_version = self.store_version
+            update_pending = self._update_pending
+            last_update = dict(self._last_update) if self._last_update else None
         stats = self.snapshot()
         max_pending = self.config.max_pending
         answering = dispatcher_alive or degraded
@@ -763,6 +911,14 @@ class ServingEngine:
             "shed_rate": stats["shed"] / max(stats["requests"], 1),
             "expired": stats["expired"],
             "retried": stats["retried"],
+            "store_version": store_version,
+            "update": {
+                "status": last_update["status"] if last_update else "idle",
+                "version": last_update["version"] if last_update else None,
+                "pending_version": update_pending,
+                "error": last_update["error"] if last_update else None,
+                "serving_stale": bool(last_update and last_update["serving_stale"]),
+            },
             "watchdog": {
                 "enabled": self._watchdog is not None,
                 "dispatcher_alive": dispatcher_alive,

@@ -1,0 +1,49 @@
+"""Typed failures of the incremental-update path.
+
+The hierarchy mirrors the serving errors (:mod:`repro.serving.errors`): one
+base class callers can blanket-catch, plus one subclass per distinct failure
+mode an operator may want to route differently.  None of these ever indicate
+a corrupted published store — every raise happens *before* the versioned
+swap, or after the swap has been cleanly rolled back, so the store a reader
+sees is always a fully-verified version.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "UpdateError",
+    "UpdateInProgress",
+    "UpdateSwapError",
+    "UpdateVerificationError",
+]
+
+
+class UpdateError(RuntimeError):
+    """Base class for incremental-update failures."""
+
+
+class UpdateInProgress(UpdateError):
+    """Another update is already being applied to this session/store.
+
+    Updates are serialized per session: overlapping ``apply_updates`` calls
+    would race on the shared staging directory and the version pointer.
+    """
+
+
+class UpdateVerificationError(UpdateError):
+    """Post-patch verification found a mismatch; the update was rolled back.
+
+    Raised when sampled row digests of the staged store disagree with an
+    independent recompute (patched rows) or with the source store (unpatched
+    rows).  The staging state has been discarded and the current version
+    pointer is untouched — readers never saw the bad bytes.
+    """
+
+
+class UpdateSwapError(UpdateError):
+    """Publishing or adopting a new store version failed.
+
+    When raised from the serving engine the engine keeps answering from the
+    version it already has (serve-stale degradation) and reports the failure
+    through ``health()["update"]``.
+    """

@@ -1,0 +1,155 @@
+"""Versioned feature-store roots with an atomic current-version pointer.
+
+A store published by preprocessing lives at its ``root`` directory — that is
+version ``"base"``.  Incremental updates never mutate a published version;
+each update stages a full store copy, patches it, and publishes it as
+``<root>.versions/vNNNN/``, then atomically repoints the ``CURRENT`` file.
+Readers resolve ``CURRENT`` once at open and keep reading their pinned
+version's files for as long as they hold them open — published version
+directories are immutable, so a reader can never observe a torn row.
+
+Layout::
+
+    <root>/                  # version "base" (what preprocessing wrote)
+    <root>.versions/
+        CURRENT              # one line: the active version name
+        v0001/               # complete, immutable store directories
+        v0002/
+        .staging/            # the in-flight update (journal + staged store)
+
+``CURRENT`` is written via write-temp + fsync + ``os.replace`` + directory
+fsync, the same publish discipline as the phase-journal manifest: the pointer
+either names the old version or the new one, never a torn in-between.  Old
+versions are kept until :meth:`VersionedStore.prune` — never pruned
+automatically, because a serving engine may still be pinned to one.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import List
+
+from repro.prepropagation.store import FeatureStore
+
+__all__ = ["VersionedStore", "BASE_VERSION"]
+
+#: the name of the version preprocessing itself publishes (the store root)
+BASE_VERSION = "base"
+
+_CURRENT_FILENAME = "CURRENT"
+_STAGING_DIRNAME = ".staging"
+_VERSION_PATTERN = re.compile(r"^v(\d{4,})$")
+
+
+class VersionedStore:
+    """Resolve, publish and enumerate the versions of one store root."""
+
+    def __init__(self, base_root: Path) -> None:
+        self.base_root = Path(base_root)
+        self.versions_root = self.base_root.parent / f"{self.base_root.name}.versions"
+        self.current_path = self.versions_root / _CURRENT_FILENAME
+
+    # ------------------------------------------------------------------ #
+    def current_version(self) -> str:
+        """The active version name (``"base"`` until an update published)."""
+        try:
+            name = self.current_path.read_text().strip()
+        except FileNotFoundError:
+            return BASE_VERSION
+        if name != BASE_VERSION and not _VERSION_PATTERN.match(name):
+            raise ValueError(f"corrupt version pointer {self.current_path}: {name!r}")
+        return name
+
+    def path_for(self, version: str) -> Path:
+        if version == BASE_VERSION:
+            return self.base_root
+        if not _VERSION_PATTERN.match(version):
+            raise ValueError(f"invalid version name {version!r}")
+        return self.versions_root / version
+
+    def current_root(self) -> Path:
+        return self.path_for(self.current_version())
+
+    def load_current(self) -> tuple[FeatureStore, str]:
+        """Open the active version; the returned store stays pinned to it."""
+        version = self.current_version()
+        return FeatureStore.load(self.path_for(version)), version
+
+    # ------------------------------------------------------------------ #
+    def list_versions(self) -> List[str]:
+        """Published update versions, oldest first (``"base"`` not included)."""
+        if not self.versions_root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.versions_root.iterdir()
+            if entry.is_dir() and _VERSION_PATTERN.match(entry.name)
+        )
+
+    def next_version(self) -> str:
+        published = self.list_versions()
+        last = int(_VERSION_PATTERN.match(published[-1]).group(1)) if published else 0
+        return f"v{last + 1:04d}"
+
+    @property
+    def staging_root(self) -> Path:
+        return self.versions_root / _STAGING_DIRNAME
+
+    # ------------------------------------------------------------------ #
+    def publish(self, staged_store: Path, target: str) -> Path:
+        """Rename a staged store directory into place and repoint ``CURRENT``.
+
+        ``target`` must be an unpublished version name (``CURRENT`` never
+        points at it yet), so removing a half-renamed leftover from a previous
+        crashed attempt is safe.
+        """
+        target_dir = self.path_for(target)
+        if target == self.current_version():
+            raise ValueError(f"version {target!r} is already current")
+        self.versions_root.mkdir(parents=True, exist_ok=True)
+        if target_dir.exists():
+            shutil.rmtree(target_dir)
+        Path(staged_store).replace(target_dir)
+        self.set_current(target)
+        return target_dir
+
+    def set_current(self, version: str) -> None:
+        """Atomically (write-temp + fsync + replace + dir fsync) repoint CURRENT."""
+        if version != BASE_VERSION and not _VERSION_PATTERN.match(version):
+            raise ValueError(f"invalid version name {version!r}")
+        self.versions_root.mkdir(parents=True, exist_ok=True)
+        temp = self.current_path.with_suffix(".tmp")
+        with open(temp, "w") as handle:
+            handle.write(version + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.current_path)
+        try:
+            fd = os.open(self.versions_root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    def prune(self, keep: int = 2) -> List[str]:
+        """Delete published versions older than the newest ``keep``.
+
+        Never automatic, never touches ``base`` or the current version:
+        readers may hold any version open, so pruning is an explicit operator
+        decision.
+        """
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        current = self.current_version()
+        candidates = [v for v in self.list_versions() if v != current]
+        doomed = candidates[: max(0, len(candidates) - keep)]
+        for version in doomed:
+            shutil.rmtree(self.versions_root / version, ignore_errors=True)
+        return doomed

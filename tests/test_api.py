@@ -109,9 +109,13 @@ class TestSession:
         assert len(health["serving"]) == 1
         assert health["serving"][0]["ready"] and health["serving"][0]["live"]
         assert health["serving"][0]["queue_depth"] == 0
+        assert health["store_version"] == "base"
+        assert health["update"]["status"] == "idle" and not health["update"]["in_progress"]
         assert engine.health()["ready"]
         session.close()
-        assert session.health() == {"closed": True, "ready": False, "serving": []}
+        closed_health = session.health()
+        assert closed_health["closed"] and not closed_health["ready"]
+        assert closed_health["serving"] == []
 
     def test_typed_serving_errors_are_reexported(self):
         from repro.serving import errors

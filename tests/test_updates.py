@@ -1,0 +1,792 @@
+"""Zero-downtime incremental updates: delta semantics, crash-safe re-propagation,
+versioned swap, and serving epoch protection.
+
+The load-bearing guarantees under test:
+
+* **Bit identity** — an incremental update's store is byte-for-byte equal to
+  a from-scratch blocked re-propagation of the updated graph (both layouts,
+  chained across versions, in-memory and file-backed).
+* **Crash safety** — a SIGKILL at any journaled phase leaves the published
+  version untouched; rerunning the same update resumes (or restarts) and
+  converges to the same bytes.  Silent patch corruption (an injected skipped
+  write) is caught by post-patch verification and rolled back.
+* **Epoch protection** — a serving engine answers every request from one
+  pinned store version; an atomic swap flips it to the new version with only
+  the patched cache rows invalidated, and a failed swap degrades to serving
+  the old version (surfaced in ``health()``), never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph.builders import from_edge_index, symmetrize
+from repro.graph.operators import operator_radius
+from repro.prepropagation.blocked import propagate_blocked
+from repro.prepropagation.propagator import PropagationConfig
+from repro.prepropagation.store import FeatureStore
+from repro.resilience.faultinject import (
+    KNOWN_SITES,
+    UPDATE_SITES,
+    FaultPlan,
+    FaultSpec,
+    assert_known_sites,
+)
+from repro.resilience.janitor import orphaned_segments
+from repro.serving import HopCache, ServingConfig, ServingEngine
+from repro.updates import (
+    BASE_VERSION,
+    GraphDelta,
+    UpdateSwapError,
+    UpdateVerificationError,
+    VersionedStore,
+    affected_frontier,
+    apply_delta,
+    apply_features,
+    apply_memory_update,
+    apply_update,
+    compute_patches,
+    expand_frontier,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+# --------------------------------------------------------------------------- #
+# scenario helpers
+# --------------------------------------------------------------------------- #
+def scenario_graph(seed: int = 3, num_nodes: int = 400, num_edges: int = 2600):
+    rng = np.random.default_rng(seed)
+    edges = np.stack(
+        [rng.integers(0, num_nodes, num_edges), rng.integers(0, num_nodes, num_edges)],
+        axis=1,
+    )
+    return symmetrize(from_edge_index(edges, num_nodes=num_nodes, name="scenario"))
+
+
+def scenario_delta(graph, seed: int = 11, feature_dim: int = 0) -> GraphDelta:
+    """Edge churn plus (optionally) feature overwrites, all in-range."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    insertions = np.stack([rng.integers(0, n, 10), rng.integers(0, n, 10)], axis=1)
+    src = np.repeat(np.arange(n), np.diff(graph.indptr))
+    picked = rng.choice(graph.indices.size, 5, replace=False)
+    deletions = np.stack([src[picked], graph.indices[picked]], axis=1)
+    kwargs = {}
+    if feature_dim:
+        nodes = np.unique(rng.integers(0, n, 4))
+        kwargs = {
+            "feature_nodes": nodes,
+            "feature_values": rng.standard_normal((nodes.size, feature_dim)).astype(
+                np.float32
+            ),
+        }
+    return GraphDelta(insertions=insertions, deletions=deletions, **kwargs)
+
+
+def from_scratch(graph, features, config, node_ids):
+    store, _ = propagate_blocked(
+        graph, features, config, node_ids=node_ids, root=None, block_size=100
+    )
+    return np.asarray(store.packed_matrix())
+
+
+# --------------------------------------------------------------------------- #
+# delta semantics
+# --------------------------------------------------------------------------- #
+class TestGraphDelta:
+    def test_application_semantics(self):
+        #     0 -- 1
+        #     |    |
+        #     3 -- 2
+        edges = np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+        graph = symmetrize(from_edge_index(edges, num_nodes=4))
+        delta = GraphDelta(
+            insertions=np.array([[0, 2], [1, 2], [1, 2]]),
+            insertion_weights=np.array([1.0, 5.0, 2.0]),
+            deletions=np.array([[1, 2], [3, 0]]),
+        )
+        updated = apply_delta(graph, delta).to_scipy().toarray()
+        # deleted then re-inserted in the same batch => present, last weight wins
+        assert updated[1, 2] == 2.0 and updated[2, 1] == 2.0
+        # symmetric insertion of a new edge
+        assert updated[0, 2] == 1.0 and updated[2, 0] == 1.0
+        # plain deletion removes both directions
+        assert updated[3, 0] == 0.0 and updated[0, 3] == 0.0
+        # untouched edges keep their bytes
+        assert updated[0, 1] == 1.0 and updated[2, 3] == 1.0
+
+    def test_feature_overwrites_last_wins(self):
+        features = np.zeros((5, 3), dtype=np.float32)
+        delta = GraphDelta(
+            feature_nodes=np.array([2, 4, 2]),
+            feature_values=np.array(
+                [[1, 1, 1], [2, 2, 2], [9, 9, 9]], dtype=np.float32
+            ),
+        )
+        out = apply_features(features, delta)
+        assert np.array_equal(out[2], [9, 9, 9])
+        assert np.array_equal(out[4], [2, 2, 2])
+        assert features[2, 0] == 0.0  # input untouched
+
+    def test_validation_and_fingerprint(self, tiny_graph):
+        with pytest.raises(ValueError):
+            GraphDelta(insertions=np.arange(6).reshape(2, 3))
+        delta = GraphDelta(insertions=np.array([[0, 99]]))
+        with pytest.raises(ValueError):
+            delta.validate_for(tiny_graph)
+        a = scenario_delta(tiny_graph, seed=1)
+        b = scenario_delta(tiny_graph, seed=1)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != scenario_delta(tiny_graph, seed=2).fingerprint()
+
+    def test_event_stream_construction(self):
+        delta = GraphDelta.from_events(
+            [
+                ("insert", 1.0, 0, 1, 2.5),
+                ("delete", 2.0, 1, 2),
+                ("feature", 3.0, 4, np.ones(3)),
+            ]
+        )
+        assert delta.insertions.tolist() == [[0, 1]]
+        assert delta.deletions.tolist() == [[1, 2]]
+        assert delta.feature_nodes.tolist() == [4]
+        assert delta.time_range() == (1.0, 3.0)
+
+
+# --------------------------------------------------------------------------- #
+# affected frontier
+# --------------------------------------------------------------------------- #
+class TestFrontier:
+    def test_expand_frontier_ring(self):
+        # 8-node ring: the r-hop ball of node 0 is exactly {0, ±1..r mod 8}
+        edges = np.stack([np.arange(8), (np.arange(8) + 1) % 8], axis=1)
+        ring = symmetrize(from_edge_index(edges, num_nodes=8))
+        assert expand_frontier(ring, np.array([0]), hops=1).tolist() == [0, 1, 7]
+        assert expand_frontier(ring, np.array([0]), hops=2).tolist() == [0, 1, 2, 6, 7]
+
+    def test_operator_radius(self):
+        assert operator_radius("normalized_adjacency") == 1
+        assert operator_radius("random_walk") == 1
+        assert operator_radius("ppr", num_iterations=4) == 4
+        assert operator_radius("heat") == 10  # default num_iterations
+        with pytest.raises(KeyError):
+            operator_radius("nope")
+
+    def test_affected_frontier_is_sound(self):
+        """Every row whose bytes actually change is inside the frontier."""
+        graph = scenario_graph()
+        features = np.random.default_rng(0).standard_normal((400, 8)).astype(np.float32)
+        node_ids = np.arange(400, dtype=np.int64)
+        config = PropagationConfig(num_hops=2)
+        delta = scenario_delta(graph, feature_dim=8)
+        new_graph = apply_delta(graph, delta)
+        new_features = apply_features(features, delta)
+        frontier = affected_frontier(graph, new_graph, delta, config)
+        before = from_scratch(graph, features, config, node_ids)
+        after = from_scratch(new_graph, new_features, config, node_ids)
+        changed = np.flatnonzero(np.any(before != after, axis=(0, 2)))
+        assert np.isin(changed, frontier).all()
+
+    def test_empty_delta_empty_frontier(self, tiny_graph):
+        delta = GraphDelta()
+        frontier = affected_frontier(
+            tiny_graph, tiny_graph, delta, PropagationConfig(num_hops=2)
+        )
+        assert frontier.size == 0
+
+
+# --------------------------------------------------------------------------- #
+# versioned store
+# --------------------------------------------------------------------------- #
+class TestVersionedStore:
+    def test_pointer_lifecycle(self, tmp_path):
+        versions = VersionedStore(tmp_path / "store")
+        assert versions.current_version() == BASE_VERSION
+        assert versions.path_for(BASE_VERSION) == tmp_path / "store"
+        assert versions.next_version() == "v0001"
+        staged = tmp_path / "staged"
+        staged.mkdir()
+        (staged / "meta.json").write_text("{}")
+        target = versions.publish(staged, "v0001")
+        assert versions.current_version() == "v0001"
+        assert target.is_dir() and not staged.exists()
+        assert versions.list_versions() == ["v0001"]
+        assert versions.next_version() == "v0002"
+        with pytest.raises(ValueError):
+            versions.publish(staged, "v0001")  # already current
+
+    def test_invalid_names_rejected(self, tmp_path):
+        versions = VersionedStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            versions.path_for("v1")  # too few digits
+        with pytest.raises(ValueError):
+            versions.set_current("../escape")
+        versions.current_path.parent.mkdir(parents=True)
+        versions.current_path.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            versions.current_version()
+
+    def test_prune_spares_current(self, tmp_path):
+        versions = VersionedStore(tmp_path / "store")
+        for name in ("v0001", "v0002", "v0003"):
+            (versions.versions_root / name).mkdir(parents=True)
+        versions.set_current("v0001")
+        doomed = versions.prune(keep=1)
+        assert doomed == ["v0002"]
+        assert versions.list_versions() == ["v0001", "v0003"]
+
+
+# --------------------------------------------------------------------------- #
+# incremental re-propagation: bit identity
+# --------------------------------------------------------------------------- #
+class TestApplyUpdate:
+    @pytest.mark.parametrize("layout", ["packed", "hops"])
+    def test_chained_updates_bit_identical(self, tmp_path, layout):
+        graph = scenario_graph()
+        rng = np.random.default_rng(0)
+        features = rng.standard_normal((400, 8)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 400, 250))
+        config = PropagationConfig(
+            num_hops=2,
+            operators=("normalized_adjacency", "ppr"),
+            operator_kwargs=({}, {"num_iterations": 3}),
+        )
+        propagate_blocked(
+            graph,
+            features,
+            config,
+            node_ids=node_ids,
+            root=tmp_path / "store",
+            block_size=100,
+            layout=layout,
+        )
+        g, f = graph, features
+        for step, version in enumerate(["v0001", "v0002"]):
+            delta = scenario_delta(g, seed=20 + step, feature_dim=8)
+            result = apply_update(tmp_path / "store", g, f, delta, config)
+            assert result.status == "applied"
+            assert result.version == version
+            assert result.verified and not result.resumed
+            expected = from_scratch(
+                result.new_graph, result.new_features, config, node_ids
+            )
+            got = np.asarray(result.store.packed_matrix())
+            assert got.tobytes() == expected.tobytes()
+            g, f = result.new_graph, result.new_features
+        versions = VersionedStore(tmp_path / "store")
+        assert versions.current_version() == "v0002"
+        assert versions.list_versions() == ["v0001", "v0002"]
+        # the base version is immutable: still byte-identical to pre-update
+        base = FeatureStore.load(tmp_path / "store")
+        original = from_scratch(graph, features, config, node_ids)
+        assert np.asarray(base.packed_matrix()).tobytes() == original.tobytes()
+
+    def test_memory_update_bit_identical(self):
+        graph = scenario_graph()
+        rng = np.random.default_rng(1)
+        features = rng.standard_normal((400, 6)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 400, 200))
+        config = PropagationConfig(num_hops=2)
+        store, _ = propagate_blocked(
+            graph, features, config, node_ids=node_ids, root=None, block_size=100
+        )
+        delta = scenario_delta(graph, feature_dim=6)
+        result = apply_memory_update(store, graph, features, delta, config, version="mem1")
+        assert result.status == "applied" and result.version == "mem1"
+        expected = from_scratch(result.new_graph, result.new_features, config, node_ids)
+        assert np.asarray(result.store.packed_matrix()).tobytes() == expected.tobytes()
+        # the input store was not mutated
+        original = from_scratch(graph, features, config, node_ids)
+        assert np.asarray(store.packed_matrix()).tobytes() == original.tobytes()
+
+    def test_retry_after_lost_ack_is_idempotent(self, tmp_path):
+        """Re-running an already-published update must not apply it twice."""
+        graph = scenario_graph()
+        rng = np.random.default_rng(3)
+        features = rng.standard_normal((400, 6)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 400, 200))
+        config = PropagationConfig(num_hops=2)
+        propagate_blocked(
+            graph, features, config, node_ids=node_ids,
+            root=tmp_path / "store", block_size=100,
+        )
+        delta = scenario_delta(graph, seed=30)
+        first = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert first.status == "applied" and first.version == "v0001"
+        retry = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert retry.status == "applied" and retry.version == "v0001"
+        assert retry.resumed
+        assert (
+            np.asarray(retry.store.packed_matrix()).tobytes()
+            == np.asarray(first.store.packed_matrix()).tobytes()
+        )
+        assert VersionedStore(tmp_path / "store").list_versions() == ["v0001"]
+        # a genuinely different delta still advances the chain
+        other = scenario_delta(first.new_graph, seed=31)
+        second = apply_update(
+            tmp_path / "store", first.new_graph, first.new_features, other, config
+        )
+        assert second.status == "applied" and second.version == "v0002"
+
+    def test_noop_when_frontier_misses_stored_rows(self, tmp_path):
+        # two 4-cycles with no path between them; store only covers the first
+        edges = np.array(
+            [[0, 1], [1, 2], [2, 3], [3, 0], [4, 5], [5, 6], [6, 7], [7, 4]]
+        )
+        graph = symmetrize(from_edge_index(edges, num_nodes=8))
+        features = np.random.default_rng(0).standard_normal((8, 4)).astype(np.float32)
+        node_ids = np.array([0, 1, 2, 3], dtype=np.int64)
+        config = PropagationConfig(num_hops=2)
+        propagate_blocked(
+            graph, features, config, node_ids=node_ids,
+            root=tmp_path / "store", block_size=4,
+        )
+        delta = GraphDelta(insertions=np.array([[4, 6]]))
+        result = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert result.status == "noop"
+        assert result.patched_rows == 0
+        assert VersionedStore(tmp_path / "store").current_version() == BASE_VERSION
+
+    def test_compute_patches_matches_full_rows(self):
+        graph = scenario_graph()
+        rng = np.random.default_rng(2)
+        features = rng.standard_normal((400, 8)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 400, 250))
+        config = PropagationConfig(num_hops=2)
+        targets = np.unique(rng.integers(0, 400, 40))
+        patch_nodes, patch_rows, patches = compute_patches(
+            graph, features, config, node_ids, targets
+        )
+        full = from_scratch(graph, features, config, node_ids)
+        for m, patch in enumerate(patches):
+            assert patch.tobytes() == np.ascontiguousarray(full[m][patch_rows]).tobytes()
+        assert np.array_equal(node_ids[patch_rows], patch_nodes)
+
+
+# --------------------------------------------------------------------------- #
+# crash safety
+# --------------------------------------------------------------------------- #
+_CHILD_SCRIPT = """
+import json, sys
+from pathlib import Path
+import numpy as np
+import scipy.sparse as sp
+sys.path.insert(0, sys.argv[1])
+from repro.graph.csr import CSRGraph
+from repro.prepropagation.propagator import PropagationConfig
+from repro.resilience.faultinject import FaultPlan, FaultSpec
+from repro.updates import GraphDelta, apply_update
+
+root = Path(sys.argv[2])
+spec = json.loads(sys.argv[3])
+data = np.load(root / "scenario.npz")
+n = int(data["num_nodes"])
+graph = CSRGraph.from_scipy(
+    sp.csr_matrix((data["weights"], data["indices"], data["indptr"]), shape=(n, n))
+)
+delta = GraphDelta(insertions=data["insertions"], deletions=data["deletions"])
+config = PropagationConfig(num_hops=int(data["hops"]))
+plan = FaultPlan(
+    specs=[
+        FaultSpec(
+            site=spec["site"], kind="kill", at_hit=spec["at_hit"], match=spec["match"]
+        )
+    ]
+)
+apply_update(root / "store", graph, data["features"], delta, config, fault_plan=plan)
+print("SURVIVED")
+"""
+
+KILL_POINTS = [
+    {"site": "update.apply", "match": {"stage": "clone"}, "at_hit": 1},
+    {"site": "update.apply", "match": {"stage": "patch"}, "at_hit": 2},
+    {"site": "update.journal", "match": {"phase": "patch"}, "at_hit": 1},
+    {"site": "update.swap", "match": {"stage": "rename"}, "at_hit": 1},
+    {"site": "update.journal", "match": {"phase": "publish"}, "at_hit": 1},
+]
+
+
+class TestCrashSafety:
+    @pytest.fixture()
+    def crash_scenario(self, tmp_path):
+        graph = scenario_graph(num_nodes=200, num_edges=1200)
+        rng = np.random.default_rng(5)
+        features = rng.standard_normal((200, 6)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 200, 120))
+        config = PropagationConfig(num_hops=2)
+        propagate_blocked(
+            graph, features, config, node_ids=node_ids,
+            root=tmp_path / "store", block_size=50,
+        )
+        delta = scenario_delta(graph, seed=8)
+        adjacency = graph.to_scipy().tocsr()
+        np.savez(
+            tmp_path / "scenario.npz",
+            indptr=adjacency.indptr,
+            indices=adjacency.indices,
+            weights=adjacency.data,
+            num_nodes=graph.num_nodes,
+            features=features,
+            insertions=delta.insertions,
+            deletions=delta.deletions,
+            hops=config.num_hops,
+        )
+        return tmp_path, graph, features, node_ids, config, delta
+
+    @pytest.mark.parametrize(
+        "kill", KILL_POINTS, ids=[f"{k['site']}-{k['at_hit']}" for k in KILL_POINTS]
+    )
+    def test_sigkill_then_resume_converges(self, crash_scenario, kill):
+        tmp_path, graph, features, node_ids, config, delta = crash_scenario
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(SRC_ROOT), str(tmp_path), json.dumps(kill)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode in (-9, 137), (
+            f"child should have been SIGKILLed, got rc={proc.returncode}\n"
+            f"stdout={proc.stdout}\nstderr={proc.stderr}"
+        )
+        # the published version never saw a torn state
+        versions = VersionedStore(tmp_path / "store")
+        current, version = versions.load_current(), versions.current_version()
+        assert version in (BASE_VERSION, "v0001")
+        # rerunning the identical update resumes (or restarts) and converges
+        result = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert result.status == "applied" and result.version == "v0001"
+        expected = from_scratch(result.new_graph, result.new_features, config, node_ids)
+        assert np.asarray(result.store.packed_matrix()).tobytes() == expected.tobytes()
+        assert versions.current_version() == "v0001"
+        # staging is cleaned up after a completed run
+        assert not versions.staging_root.exists()
+
+    def test_leaked_patch_write_is_caught_and_rolled_back(self, tmp_path):
+        """An injected skipped write (silent corruption) must never publish."""
+        graph = scenario_graph(num_nodes=200, num_edges=1200)
+        rng = np.random.default_rng(6)
+        features = rng.standard_normal((200, 6)).astype(np.float32)
+        node_ids = np.arange(200, dtype=np.int64)
+        config = PropagationConfig(num_hops=2)
+        propagate_blocked(
+            graph, features, config, node_ids=node_ids,
+            root=tmp_path / "store", block_size=50,
+        )
+        delta = scenario_delta(graph, seed=9, feature_dim=6)
+        # skip the write of hop matrix 1; verify every patched row so the
+        # corruption cannot dodge the sample
+        plan = FaultPlan(
+            specs=[
+                FaultSpec(
+                    site="update.apply", kind="leak", match={"stage": "patch", "matrix": 1}
+                )
+            ]
+        )
+        with pytest.raises(UpdateVerificationError):
+            apply_update(
+                tmp_path / "store", graph, features, delta, config,
+                fault_plan=plan, verify_samples=10_000,
+            )
+        versions = VersionedStore(tmp_path / "store")
+        assert versions.current_version() == BASE_VERSION
+        assert not versions.staging_root.exists()  # rolled back, not resumable
+        # a clean retry succeeds
+        result = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert result.status == "applied" and result.version == "v0001"
+
+    def test_transient_error_leaves_resumable_staging(self, tmp_path):
+        graph = scenario_graph(num_nodes=200, num_edges=1200)
+        rng = np.random.default_rng(7)
+        features = rng.standard_normal((200, 6)).astype(np.float32)
+        node_ids = np.unique(rng.integers(0, 200, 120))
+        config = PropagationConfig(num_hops=2)
+        propagate_blocked(
+            graph, features, config, node_ids=node_ids,
+            root=tmp_path / "store", block_size=50,
+        )
+        delta = scenario_delta(graph, seed=10)
+        plan = FaultPlan(
+            specs=[FaultSpec(site="update.journal", kind="ioerror", at_hit=2)]
+        )
+        with pytest.raises(OSError):
+            apply_update(tmp_path / "store", graph, features, delta, config, fault_plan=plan)
+        versions = VersionedStore(tmp_path / "store")
+        assert versions.current_version() == BASE_VERSION
+        assert versions.staging_root.exists()  # kept for resume
+        result = apply_update(tmp_path / "store", graph, features, delta, config)
+        assert result.status == "applied" and result.version == "v0001"
+        assert result.resumed
+        expected = from_scratch(result.new_graph, result.new_features, config, node_ids)
+        assert np.asarray(result.store.packed_matrix()).tobytes() == expected.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# serving epoch protection
+# --------------------------------------------------------------------------- #
+def _serving_scenario(num_hops=2, feature_dim=6):
+    graph = scenario_graph(num_nodes=300, num_edges=1800)
+    rng = np.random.default_rng(12)
+    features = rng.standard_normal((300, feature_dim)).astype(np.float32)
+    node_ids = np.arange(300, dtype=np.int64)
+    config = PropagationConfig(num_hops=num_hops)
+    store, _ = propagate_blocked(
+        graph, features, config, node_ids=node_ids, root=None, block_size=100
+    )
+    delta = scenario_delta(graph, seed=13, feature_dim=feature_dim)
+    result = apply_memory_update(store, graph, features, delta, config, version="mem1")
+    assert result.status == "applied"
+    return store, result
+
+
+class TestServingSwap:
+    def test_hop_cache_invalidate(self):
+        cache = HopCache(4, 2, 3, np.float32, policy="lru")
+        blocks = {row: np.full((2, 3), row, dtype=np.float32) for row in range(4)}
+        for row, block in blocks.items():
+            cache.put(row, block)
+        assert cache.invalidate([1, 3, 99]) == 2
+        assert cache.get(1) is None and cache.get(3) is None
+        assert np.array_equal(cache.get(0), blocks[0])
+        assert np.array_equal(cache.get(2), blocks[2])
+        # freed slots are reusable
+        cache.put(5, np.full((2, 3), 5, dtype=np.float32))
+        assert np.array_equal(cache.get(5), np.full((2, 3), 5, dtype=np.float32))
+
+    def test_adopt_store_flips_answers_and_keeps_unpatched_cache(self):
+        store, result = _serving_scenario()
+        old_packed = np.asarray(store.packed_matrix())
+        new_packed = np.asarray(result.store.packed_matrix())
+        patched = result.patch_rows
+        unpatched = np.setdiff1d(np.arange(store.num_rows), patched)[:4]
+        with ServingEngine(
+            store, ServingConfig(cache_capacity=64, window_seconds=0.001)
+        ) as engine:
+            assert engine.health()["store_version"] == "base"
+            warm_rows = np.concatenate([patched[:4], unpatched])
+            before = engine.fetch(warm_rows)
+            assert before.tobytes() == np.ascontiguousarray(
+                old_packed[:, warm_rows, :]
+            ).tobytes()
+            engine.begin_update("mem1")
+            assert engine.health()["update"]["pending_version"] == "mem1"
+            engine.adopt_store(result.store, version="mem1", invalidate_rows=patched)
+            health = engine.health()
+            assert health["store_version"] == "mem1"
+            assert health["update"]["status"] == "applied"
+            assert not health["update"]["serving_stale"]
+            after = engine.fetch(warm_rows)
+            assert after.tobytes() == np.ascontiguousarray(
+                new_packed[:, warm_rows, :]
+            ).tobytes()
+
+    def test_swap_failure_serves_stale(self):
+        store, result = _serving_scenario()
+        old_packed = np.asarray(store.packed_matrix())
+        rows = result.patch_rows[:4]
+        plan = FaultPlan(
+            specs=[FaultSpec(site="update.swap", kind="error", match={"stage": "engine"})]
+        )
+        with ServingEngine(
+            store, ServingConfig(cache_capacity=64, window_seconds=0.001)
+        ) as engine:
+            engine.begin_update("mem1")
+            with plan.active():
+                with pytest.raises(UpdateSwapError):
+                    engine.adopt_store(result.store, version="mem1", invalidate_rows=rows)
+            health = engine.health()
+            assert health["store_version"] == "base"
+            assert health["update"]["status"] == "failed"
+            assert health["update"]["serving_stale"]
+            assert "InjectedFault" in health["update"]["error"]
+            got = engine.fetch(rows)
+            assert got.tobytes() == np.ascontiguousarray(old_packed[:, rows, :]).tobytes()
+
+    def test_adopt_store_rejects_shape_mismatch(self):
+        store, result = _serving_scenario()
+        wrong_ids = result.store.node_ids[:-1]
+        wrong, _ = propagate_blocked(
+            scenario_graph(num_nodes=300, num_edges=1800),
+            np.zeros((300, 6), dtype=np.float32),
+            PropagationConfig(num_hops=2),
+            node_ids=wrong_ids,
+            root=None,
+            block_size=100,
+        )
+        with ServingEngine(store, ServingConfig(cache_policy="none")) as engine:
+            engine.begin_update("mem1")
+            with pytest.raises(UpdateSwapError):
+                engine.adopt_store(wrong, version="mem1")
+            assert engine.health()["update"]["status"] == "failed"
+            assert engine.store_version == "base"
+
+    def test_concurrent_zipfian_serving_never_tears(self):
+        """Satellite: requests racing a swap see exactly one version per block.
+
+        Every answer must be byte-identical to the pre-update version or to
+        the post-update version — never a mix of hops from both — and after
+        the swap returns, answers must come from the new version only.
+        """
+        store, result = _serving_scenario()
+        old_packed = np.asarray(store.packed_matrix())
+        new_packed = np.asarray(result.store.packed_matrix())
+        patched = result.patch_rows
+        assert patched.size >= 4
+        rng = np.random.default_rng(0)
+        weights = 1.0 / np.arange(1, store.num_rows + 1) ** 1.1
+        weights /= weights.sum()
+
+        swap_done = threading.Event()
+        answers: list = []
+        errors: list = []
+        lock = threading.Lock()
+
+        def client(seed):
+            local_rng = np.random.default_rng(seed)
+            local = []
+            try:
+                for i in range(120):
+                    if local_rng.random() < 0.3:  # keep patched rows in the mix
+                        row = int(patched[local_rng.integers(0, patched.size)])
+                    else:
+                        row = int(local_rng.choice(store.num_rows, p=weights))
+                    swapped_before_issue = swap_done.is_set()
+                    block = engine.fetch([row])
+                    local.append((row, block.copy(), swapped_before_issue))
+            except Exception as exc:  # pragma: no cover - fails the assert below
+                with lock:
+                    errors.append(exc)
+            with lock:
+                answers.extend(local)
+
+        with ServingEngine(
+            store, ServingConfig(cache_capacity=64, window_seconds=0.001)
+        ) as engine:
+            threads = [threading.Thread(target=client, args=(s,)) for s in range(4)]
+            for t in threads:
+                t.start()
+            engine.begin_update("mem1")
+            engine.adopt_store(result.store, version="mem1", invalidate_rows=patched)
+            swap_done.set()
+            for t in threads:
+                t.join(timeout=60)
+                assert not t.is_alive()
+            assert not errors, errors
+            torn = 0
+            for row, block, after_swap in answers:
+                old_bytes = np.ascontiguousarray(old_packed[:, [row], :]).tobytes()
+                new_bytes = np.ascontiguousarray(new_packed[:, [row], :]).tobytes()
+                got = block.tobytes()
+                if got not in (old_bytes, new_bytes):
+                    torn += 1
+                elif after_swap and got != new_bytes and old_bytes != new_bytes:
+                    # a request issued strictly after the swap returned must
+                    # already see the new version
+                    torn += 1
+            assert torn == 0
+            # post-swap coalesced path answers from the new version too
+            row = int(patched[0])
+            assert (
+                engine.submit(row).result(timeout=30).tobytes()
+                == np.ascontiguousarray(new_packed[:, row, :]).tobytes()
+            )
+
+
+# --------------------------------------------------------------------------- #
+# session integration
+# --------------------------------------------------------------------------- #
+class TestSessionUpdates:
+    def test_file_backed_session_end_to_end(self, tmp_path, small_dataset):
+        import copy
+
+        from repro.api import Session, UpdateInProgress
+
+        dataset = copy.copy(small_dataset)
+        with Session(dataset, root=tmp_path / "store") as session:
+            session.preprocess(num_hops=2, mode="blocked", store_layout="packed")
+            engine = session.serve(ServingConfig(cache_capacity=32, window_seconds=0.001))
+            delta = scenario_delta(dataset.graph, seed=21, feature_dim=dataset.features.shape[1])
+            result = session.apply_updates(delta)
+            assert result.status == "applied" and result.version == "v0001"
+            assert result.engine_errors == []
+            health = session.health()
+            assert health["store_version"] == "v0001"
+            assert health["update"]["status"] == "applied"
+            assert engine.store_version == "v0001"
+            # engine answers the published version's bytes
+            published = FeatureStore.load(
+                VersionedStore(tmp_path / "store").path_for("v0001")
+            )
+            rows = result.patch_rows[:4]
+            if rows.size:
+                got = engine.fetch(rows)
+                want = np.ascontiguousarray(
+                    np.asarray(published.packed_matrix())[:, rows, :]
+                )
+                assert got.tobytes() == want.tobytes()
+            # a second update chains on the rebased snapshot
+            delta2 = scenario_delta(dataset.graph, seed=22)
+            result2 = session.apply_updates(delta2)
+            assert result2.status == "applied" and result2.version == "v0002"
+            assert engine.store_version == "v0002"
+            # concurrent updates are rejected with the typed error
+            assert session._update_lock.acquire(blocking=False)
+            try:
+                with pytest.raises(UpdateInProgress):
+                    session.apply_updates(delta2)
+            finally:
+                session._update_lock.release()
+
+    def test_memory_session_updates(self, small_dataset):
+        import copy
+
+        from repro.api import Session
+
+        dataset = copy.copy(small_dataset)
+        with Session(dataset) as session:
+            session.preprocess(num_hops=2)
+            delta = scenario_delta(dataset.graph, seed=23)
+            result = session.apply_updates(delta)
+            assert result.status == "applied" and result.version == "mem1"
+            assert session.health()["store_version"] == "mem1"
+            expected = from_scratch(
+                result.new_graph,
+                result.new_features,
+                PropagationConfig(num_hops=2),
+                session.store.node_ids,
+            )
+            assert np.asarray(session.store.packed_matrix()).tobytes() == expected.tobytes()
+            result2 = session.apply_updates(scenario_delta(dataset.graph, seed=24))
+            assert result2.version == "mem2"
+
+
+# --------------------------------------------------------------------------- #
+# fault-site registry and janitor awareness
+# --------------------------------------------------------------------------- #
+class TestFaultSurface:
+    def test_update_sites_are_registered(self):
+        assert set(UPDATE_SITES) <= set(KNOWN_SITES)
+        plan = FaultPlan.randomized(
+            0, sites=UPDATE_SITES, kinds=("error", "ioerror"), num_faults=3
+        )
+        assert_known_sites(plan.specs)
+        assert all(spec.site in UPDATE_SITES for spec in plan.specs)
+
+    def test_janitor_sweeps_versioned_segments(self, tmp_path):
+        alive = tmp_path / f"ppgnn-serve-v3-{os.getpid()}-deadbeef"
+        orphan = tmp_path / "ppgnn-serve-v7-999999999-deadbeef"
+        legacy_orphan = tmp_path / "ppgnn-store-999999999-cafebabe"
+        foreign = tmp_path / "not-ours.txt"
+        for path in (alive, orphan, legacy_orphan, foreign):
+            path.write_bytes(b"x")
+        found = {p.name for p in orphaned_segments(shm_dir=tmp_path)}
+        assert found == {orphan.name, legacy_orphan.name}
